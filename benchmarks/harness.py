@@ -1,0 +1,207 @@
+"""Standalone experiment harness: regenerate every figure and table.
+
+Run:  python benchmarks/harness.py            (all experiments)
+      python benchmarks/harness.py FIG7 TAB-CONT   (a selection)
+
+The output of this script is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import (
+    audit_all,
+    crossover_level,
+    crossover_table,
+    render_crossover_table,
+    contention_table,
+    convergence_table,
+    message_size_table,
+    render_message_size_table,
+    render_scaling_table,
+    scaling_table,
+    fig1_ring_style,
+    fig1_round_robin,
+    fig2_basic_two_block,
+    fig3_two_block_size4,
+    fig4_basic_modules,
+    fig5_merge_scheme,
+    fig6_four_block_eight,
+    fig7_ring_ordering,
+    fig8_modified_ring,
+    fig9_hybrid_sixteen,
+    per_level_contention,
+    render_comm_table,
+    render_contention_table,
+    render_convergence_table,
+    render_timing_table,
+    step_table,
+    tab_comm,
+    tab_time,
+)
+from repro.machine import make_topology
+from repro.orderings import FatTreeOrdering, LLBOrdering, make_ordering, meeting_gap_profile
+from repro.util.formatting import render_step_table
+
+
+def show(schedule, title):
+    print(render_step_table(step_table(schedule), title=title))
+    print(f"      layout after sweep: {schedule.final_layout()}\n")
+
+
+def run_fig1():
+    show(fig1_round_robin(8), "FIG1(b): round-robin ordering, n=8")
+    show(fig1_ring_style(8), "FIG1(a): odd-even (ring-style) ordering, n=8")
+
+
+def run_fig2():
+    show(fig2_basic_two_block(), "FIG2: two-block basic module")
+
+
+def run_fig3():
+    show(fig3_two_block_size4(), "FIG3: two-block ordering of size 4")
+
+
+def run_fig4():
+    a, b = fig4_basic_modules()
+    show(a, "FIG4(a): four-index module (order preserving)")
+    show(b, "FIG4(b): four-index module (3,4 reversed)")
+
+
+def run_fig5():
+    print("FIG5: merge procedure scheme, n=16")
+    for s, stage in enumerate(fig5_merge_scheme(16), start=1):
+        print(f"   stage {s}: {stage}")
+    print()
+
+
+def run_fig6():
+    show(fig6_four_block_eight(), "FIG6: four-block ordering, 8 indices")
+
+
+def run_fig7():
+    sched, eq = fig7_ring_ordering(8)
+    show(sched, "FIG7(a): new ring ordering, n=8")
+    print(f"      equivalence to round-robin verified: {eq.verified}")
+    print(f"      relabelling: {eq.relabelling}\n")
+
+
+def run_fig8():
+    sched, eq = fig8_modified_ring(8)
+    show(sched, "FIG8(a): modified ring ordering, n=8")
+    print(f"      equivalence verified: {eq.verified}\n")
+
+
+def run_fig9():
+    sched = fig9_hybrid_sixteen()
+    show(sched, "FIG9: hybrid ordering, 16 indices, 4 groups")
+    print(f"      global phases after steps: {sched.notes['superstep_boundaries']}\n")
+
+
+def run_tab_comm():
+    for n, g in ((32, 4), (128, 16)):
+        print(render_comm_table(tab_comm(n, **{"hybrid": {"n_groups": g}})))
+        print()
+
+
+def run_tab_cont():
+    print(render_contention_table(contention_table(64, **{"hybrid": {"n_groups": 8}})))
+    print()
+    print("hybrid block-size ablation on CM-5 (n=64):")
+    topo = make_topology("cm5", 32)
+    for g in (2, 4, 8, 16):
+        K = 64 // (2 * g)
+        prof = per_level_contention(make_ordering("hybrid", 64, n_groups=g).sweep(0), topo)
+        print(f"   block={K:2d} columns: worst contention {max(prof.values()):.2f}")
+    print()
+
+
+def run_tab_time():
+    print(render_timing_table(tab_time(64, **{"hybrid": {"n_groups": 8}})))
+    print()
+
+
+def run_tab_conv():
+    for kind in ("gaussian", "graded"):
+        rows = convergence_table(n=32, runs=3, kind=kind, **{"hybrid": {"n_groups": 4}})
+        print(render_convergence_table(rows).replace("TAB-CONV", f"TAB-CONV [{kind}]"))
+        print()
+
+
+def run_tab_llb():
+    fat = meeting_gap_profile(FatTreeOrdering(32), n_sweeps=4)
+    llb = meeting_gap_profile(LLBOrdering(32), n_sweeps=4)
+    print("TAB-SWEEP: rotation-gap profiles (steps between re-rotations of a pair)")
+    print(f"   fat_tree: {fat}")
+    print(f"   llb     : {llb}")
+    print()
+
+
+def run_tab_scale():
+    rows = scaling_table(sizes=[16, 32, 64, 128], m=96)
+    print(render_scaling_table(rows))
+    print()
+
+
+def run_tab_msg():
+    rows = message_size_table(64, sizes=[8, 32, 128, 512])
+    print(render_message_size_table(rows))
+    print()
+
+
+def run_tab_cross():
+    rows = crossover_table(64, 96)
+    print(render_crossover_table(rows))
+    lvl = crossover_level(rows)
+    print(f"   fat-tree first matches hybrid at skinny-above level: "
+          f"{lvl if lvl is not None else 'parity only at the perfect tree'}")
+    print()
+
+
+def run_tab_opt():
+    print("TAB-OPT: step-count optimality audit (n=32)")
+    for a in audit_all(32, hybrid={"n_groups": 4}):
+        mark = "optimal" if a.is_optimal else f"+{a.steps - a.lower_bound} step(s)"
+        print(f"   {a.ordering:13s} steps={a.steps:3d} bound={a.lower_bound:3d} "
+              f"idle slots={a.idle_pair_slots:3d}  {mark}")
+    print()
+
+
+EXPERIMENTS = {
+    "FIG1": run_fig1,
+    "FIG2": run_fig2,
+    "FIG3": run_fig3,
+    "FIG4": run_fig4,
+    "FIG5": run_fig5,
+    "FIG6": run_fig6,
+    "FIG7": run_fig7,
+    "FIG8": run_fig8,
+    "FIG9": run_fig9,
+    "TAB-COMM": run_tab_comm,
+    "TAB-CONT": run_tab_cont,
+    "TAB-TIME": run_tab_time,
+    "TAB-CONV": run_tab_conv,
+    "TAB-SWEEP": run_tab_llb,
+    "TAB-SCALE": run_tab_scale,
+    "TAB-MSG": run_tab_msg,
+    "TAB-OPT": run_tab_opt,
+    "TAB-CROSS": run_tab_cross,
+}
+
+
+def main(argv: list[str]) -> int:
+    wanted = argv or list(EXPERIMENTS)
+    for key in wanted:
+        if key not in EXPERIMENTS:
+            print(f"unknown experiment {key!r}; available: {', '.join(EXPERIMENTS)}")
+            return 2
+        print("=" * 72)
+        print(f"== {key}")
+        print("=" * 72)
+        EXPERIMENTS[key]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,72 @@
+"""Benches for the extension subsystems: eigensolver, block Jacobi,
+applications, collectives and the machine-scaling study."""
+
+import numpy as np
+
+from repro import block_jacobi_svd, jacobi_eigh, lstsq, pca
+from repro.analysis import render_scaling_table, scaling_table
+from repro.blockjacobi import BlockJacobiOptions
+from repro.machine import collective_cost, make_topology
+
+
+def test_eigensolver_fat_tree(benchmark, rng):
+    a = rng.standard_normal((32, 32))
+    a = (a + a.T) / 2.0
+
+    r = benchmark(jacobi_eigh, a, "fat_tree")
+    ref = np.linalg.eigvalsh(a)[::-1]
+    assert np.max(np.abs(r.w - ref)) < 1e-11
+
+
+def test_block_jacobi_block_size_sweep(benchmark, rng):
+    a = rng.standard_normal((64, 32))
+    ref = np.linalg.svd(a, compute_uv=False)
+
+    def run():
+        out = {}
+        for b in (1, 2, 4, 8):
+            r = block_jacobi_svd(a, options=BlockJacobiOptions(block_size=b))
+            out[b] = (r.sweeps, float(np.max(np.abs(r.sigma - ref)) / ref[0]))
+        return out
+
+    results = benchmark(run)
+    print("\nblock size -> (outer sweeps, sigma err):", results)
+    for sweeps, err in results.values():
+        assert err < 1e-11
+    # larger blocks need no more outer sweeps
+    assert results[8][0] <= results[1][0]
+
+
+def test_apps_pipeline(benchmark, rng):
+    x = rng.standard_normal((80, 16))
+    b = rng.standard_normal(80)
+
+    def run():
+        model = pca(x, k=4)
+        fit = lstsq(x, b)
+        return model, fit
+
+    model, fit = benchmark(run)
+    assert fit.rank == 16
+    assert model.components.shape == (4, 16)
+
+
+def test_collectives_cost_profile(benchmark):
+    def run():
+        topo = make_topology("cm5", 64)
+        return {
+            kind: collective_cost(kind, topo, words=128).time
+            for kind in ("reduce", "broadcast", "allreduce", "allgather", "scan")
+        }
+
+    costs = benchmark(run)
+    print("\ncollective costs (128 words, 64 leaves):", costs)
+    assert costs["allreduce"] > costs["reduce"]
+    assert costs["allgather"] > costs["broadcast"]
+
+
+def test_scaling_study(benchmark):
+    rows = benchmark(scaling_table, [16, 32, 64], 64)
+    print("\n" + render_scaling_table(rows))
+    hybrid = [r for r in rows if r.ordering == "hybrid"]
+    assert all(r.max_contention <= 1.0 for r in hybrid)

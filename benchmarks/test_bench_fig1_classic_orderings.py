@@ -1,0 +1,30 @@
+"""FIG1 — regenerate the classic orderings of Fig 1 (ring style, round-robin).
+
+The benchmark times schedule construction; the assertions re-verify the
+figure-level structure the table in EXPERIMENTS.md records.
+"""
+
+from repro.analysis import fig1_ring_style, fig1_round_robin, step_table
+from repro.orderings import check_all_pairs_once
+from repro.util.formatting import render_step_table
+
+
+def test_fig1b_round_robin(benchmark):
+    sched = benchmark(fig1_round_robin, 8)
+    assert sched.n_rotation_steps == 7
+    assert check_all_pairs_once(sched).is_valid
+    table = render_step_table(step_table(sched), title="Fig 1(b) round-robin, n=8")
+    print("\n" + table)
+    assert sched.index_pairs()[0] == [(1, 2), (3, 4), (5, 6), (7, 8)]
+
+
+def test_fig1a_ring_style(benchmark):
+    sched = benchmark(fig1_ring_style, 8)
+    assert sched.n_rotation_steps == 8
+    assert check_all_pairs_once(sched).is_valid
+    print("\n" + render_step_table(step_table(sched), title="Fig 1(a) odd-even stand-in, n=8"))
+
+
+def test_fig1_scaling_construction(benchmark):
+    sched = benchmark(fig1_round_robin, 256)
+    assert sched.n_rotation_steps == 255

@@ -1,0 +1,26 @@
+"""FIG2/FIG3 — the two-block basic module and the size-4 two-block ordering."""
+
+from repro.analysis import fig2_basic_two_block, fig3_two_block_size4, step_table
+from repro.orderings.twoblock import two_block_schedule
+from repro.util.formatting import render_step_table
+
+
+def test_fig2_basic_module(benchmark):
+    sched = benchmark(fig2_basic_two_block)
+    assert sched.n_rotation_steps == 2
+    print("\n" + render_step_table(step_table(sched), title="Fig 2: two-block basic module"))
+
+
+def test_fig3_size4(benchmark):
+    sched = benchmark(fig3_two_block_size4)
+    rows = step_table(sched)
+    assert [r[2] for r in rows[:-1]] == ["level 1", "level 2", "level 1"]
+    print("\n" + render_step_table(rows, title="Fig 3: two-block ordering of size 4"))
+
+
+def test_two_block_large(benchmark):
+    sched = benchmark(two_block_schedule, 64)
+    assert sched.n_rotation_steps == 64
+    # the level histogram matches the fat-tree capacity profile exactly
+    hist = sched.level_histogram()
+    assert all(hist[r] == 64 * 64 // (1 << (r - 1)) // 2 for r in hist)

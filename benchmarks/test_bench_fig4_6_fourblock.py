@@ -1,0 +1,25 @@
+"""FIG4/FIG6 — the basic four-index modules and the 8-index four-block ordering."""
+
+from repro.analysis import fig4_basic_modules, fig6_four_block_eight, step_table
+from repro.orderings import check_all_pairs_once
+from repro.util.formatting import render_step_table
+
+
+def test_fig4_modules(benchmark):
+    mod_a, mod_b = benchmark(fig4_basic_modules)
+    assert mod_a.final_layout() == [1, 2, 3, 4]       # order maintained
+    assert mod_b.final_layout() == [1, 2, 4, 3]       # 3 and 4 reversed
+    print("\n" + render_step_table(step_table(mod_a), title="Fig 4(a)"))
+    print("\n" + render_step_table(step_table(mod_b), title="Fig 4(b)"))
+    # Fig 4(a): left index always smaller than the right one
+    for pairs in mod_a.index_pairs():
+        assert all(a < b for a, b in pairs)
+
+
+def test_fig6_eight_indices(benchmark):
+    sched = benchmark(fig6_four_block_eight)
+    assert sched.n_rotation_steps == 7
+    assert check_all_pairs_once(sched).is_valid
+    assert sched.final_layout() == list(range(1, 9))
+    print("\n" + render_step_table(step_table(sched),
+                                   title="Fig 6: four-block ordering, 8 indices"))

@@ -1,0 +1,24 @@
+"""FIG5 — the merge-procedure scheme and full fat-tree sweeps."""
+
+from repro.analysis import fig5_merge_scheme
+from repro.orderings import check_all_pairs_once
+from repro.orderings.fattree import fat_tree_sweep
+
+
+def test_fig5_scheme(benchmark):
+    plan = benchmark(fig5_merge_scheme, 16)
+    assert len(plan) == 3
+    print("\nFig 5: merge procedure for n=16")
+    for s, stage in enumerate(plan, start=1):
+        print(f"  stage {s}: {stage}")
+
+
+def test_fat_tree_sweep_n64(benchmark):
+    sched = benchmark(fat_tree_sweep, 64)
+    assert sched.n_rotation_steps == 63
+    assert sched.final_layout() == list(range(1, 65))
+
+
+def test_fat_tree_sweep_n256_construction(benchmark):
+    sched = benchmark(fat_tree_sweep, 256)
+    assert check_all_pairs_once(sched).is_valid

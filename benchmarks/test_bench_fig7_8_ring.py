@@ -1,0 +1,30 @@
+"""FIG7/FIG8 — the new ring ordering, its modified variant, and the
+round-robin equivalence relabelling."""
+
+from repro.analysis import fig7_ring_ordering, fig8_modified_ring, step_table
+from repro.orderings import check_one_directional
+from repro.orderings.ringnew import ring_sweep
+from repro.util.formatting import render_step_table
+
+
+def test_fig7_new_ring(benchmark):
+    sched, eq = benchmark(fig7_ring_ordering, 8)
+    assert eq.verified
+    assert check_one_directional(sched)
+    final = sched.final_layout()
+    assert final[:2] == [1, 2]
+    print("\n" + render_step_table(step_table(sched), title="Fig 7(a): new ring, n=8"))
+    print("relabelling to round-robin:", eq.relabelling)
+
+
+def test_fig8_modified_ring(benchmark):
+    sched, eq = benchmark(fig8_modified_ring, 8)
+    assert eq.verified
+    assert check_one_directional(sched)
+    print("\n" + render_step_table(step_table(sched), title="Fig 8(a): modified ring, n=8"))
+
+
+def test_ring_construction_scales(benchmark):
+    sched = benchmark(ring_sweep, 128)
+    assert sched.n_rotation_steps == 127
+    assert check_one_directional(sched)

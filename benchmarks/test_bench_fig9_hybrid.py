@@ -1,0 +1,21 @@
+"""FIG9 — the hybrid ordering for sixteen indices in four groups."""
+
+from repro.analysis import fig9_hybrid_sixteen, step_table
+from repro.orderings import check_all_pairs_once
+from repro.orderings.hybrid import hybrid_sweep
+from repro.util.formatting import render_step_table
+
+
+def test_fig9_sixteen(benchmark):
+    sched = benchmark(fig9_hybrid_sixteen, 16, 4)
+    assert sched.n_rotation_steps == 15
+    assert check_all_pairs_once(sched).is_valid
+    rows = step_table(sched)
+    # annotate the super-step boundaries the paper marks as "global"
+    print("\n" + render_step_table(rows, title="Fig 9: hybrid ordering, 16 indices, 4 groups"))
+    print("super-step boundaries after steps:", sched.notes["superstep_boundaries"])
+
+
+def test_hybrid_construction_scales(benchmark):
+    sched = benchmark(hybrid_sweep, 128, 16)
+    assert sched.n_rotation_steps == 127

@@ -1,0 +1,26 @@
+"""TAB-COMM — per-sweep message counts by tree level for every ordering."""
+
+from repro.analysis import render_comm_table, tab_comm
+
+
+def test_tab_comm_n32(benchmark):
+    rows = benchmark(tab_comm, 32, **{"hybrid": {"n_groups": 4}})
+    print("\n" + render_comm_table(rows))
+    by = {r.ordering: r for r in rows}
+    # locality: the fat-tree ordering moves fewer columns than round-robin
+    assert by["fat_tree"].total_messages < by["round_robin"].total_messages
+    # ring and round-robin communicate globally every step; the fat-tree
+    # ordering's mean level stays below 2
+    assert by["fat_tree"].mean_level < 2.0
+
+
+def test_tab_comm_n128(benchmark):
+    rows = benchmark(tab_comm, 128, **{"hybrid": {"n_groups": 16}})
+    print("\n" + render_comm_table(rows))
+    by = {r.ordering: r for r in rows}
+    # Section 3: the Fig 1 orderings "have the disadvantage that global
+    # communication is required at each step", while the fat-tree and
+    # hybrid orderings confine top-level traffic to the final merge stage
+    assert by["fat_tree"].top_level_messages < by["round_robin"].top_level_messages
+    assert by["hybrid"].top_level_messages < by["round_robin"].top_level_messages
+    assert by["fat_tree"].total_messages < by["round_robin"].total_messages

@@ -1,0 +1,58 @@
+"""TAB-CONT — channel contention per ordering x topology (Section 5).
+
+Also carries the hybrid block-size ablation: the contention-free window
+on the CM-5 model is exactly the block sizes whose column count fits the
+lowest skinny channel, as the paper prescribes.
+"""
+
+from repro.analysis import contention_table, per_level_contention, render_contention_table
+from repro.machine import make_topology
+from repro.orderings import make_ordering
+
+
+def test_tab_contention_n64(benchmark):
+    rows = benchmark(
+        contention_table, 64, **{"hybrid": {"n_groups": 8}}
+    )
+    print("\n" + render_contention_table(rows))
+    by = {(r.topology, r.ordering): r for r in rows}
+    assert by[("perfect_fat_tree", "fat_tree")].contention_free
+    assert not by[("cm5", "fat_tree")].contention_free
+    assert by[("cm5", "hybrid")].contention_free
+    assert by[("binary_tree", "ring_new")].contention_free
+
+
+def test_hybrid_block_size_ablation(benchmark):
+    def sweep_block_sizes():
+        out = {}
+        n = 64
+        topo = make_topology("cm5", n // 2)
+        for g in (2, 4, 8, 16):
+            K = n // (2 * g)
+            prof = per_level_contention(
+                make_ordering("hybrid", n, n_groups=g).sweep(0), topo
+            )
+            out[K] = max(prof.values())
+        return out
+
+    worst_by_block = benchmark(sweep_block_sizes)
+    print("\nhybrid on CM-5, worst contention by block size:", worst_by_block)
+    # blocks of <= 4 columns fit the skinny channels; larger blocks contend
+    assert worst_by_block[2] <= 1.0
+    assert worst_by_block[4] <= 1.0
+    assert worst_by_block[16] > 1.0
+
+
+def test_fat_tree_contention_growth(benchmark):
+    def growth():
+        out = []
+        for n in (16, 64, 256):
+            prof = per_level_contention(
+                make_ordering("fat_tree", n).sweep(0), make_topology("cm5", n // 2)
+            )
+            out.append(max(prof.values()))
+        return out
+
+    worst = benchmark(growth)
+    print("\nfat-tree ordering on CM-5, worst contention vs n:", worst)
+    assert worst[-1] > worst[0]

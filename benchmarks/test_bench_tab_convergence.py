@@ -1,0 +1,38 @@
+"""TAB-CONV — sweeps-to-convergence, accuracy and sortedness per ordering."""
+
+from repro.analysis import convergence_table, render_convergence_table
+
+
+def test_tab_convergence_gaussian(benchmark):
+    rows = benchmark(
+        convergence_table, 32, runs=3, kind="gaussian",
+        **{"hybrid": {"n_groups": 4}},
+    )
+    print("\n" + render_convergence_table(rows))
+    for r in rows:
+        assert r.converged_runs == r.runs
+        assert r.max_sigma_err < 1e-11
+    by = {r.ordering: r for r in rows}
+    # equivalent orderings converge alike (Definition 1)
+    assert abs(by["ring_new"].sweeps - by["round_robin"].sweeps) <= 1.5
+
+
+def test_tab_convergence_graded(benchmark):
+    rows = benchmark(
+        convergence_table, 32, runs=2, kind="graded",
+        names=["fat_tree", "ring_new", "llb"],
+    )
+    print("\n" + render_convergence_table(rows))
+    for r in rows:
+        assert r.converged_runs == r.runs
+
+
+def test_off_norm_decay_quadratic(benchmark):
+    from repro.svd.convergence import quadratic_rate_ok
+
+    rows = benchmark(
+        convergence_table, 16, runs=1, kind="graded", names=["fat_tree"],
+    )
+    decay = rows[0].off_decay
+    print("\noff-norm decay per sweep:", [f"{v:.2e}" for v in decay])
+    assert quadratic_rate_ok(decay)

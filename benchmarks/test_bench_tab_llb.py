@@ -1,0 +1,47 @@
+"""TAB-SWEEP — the Lee-Luk-Boley comparison of Section 3.
+
+Quantifies the two disadvantages the paper lists: the variable rotation
+gap under forward/backward alternation, and the extra half-sweep paid
+when the sweep count must be even.
+"""
+
+import numpy as np
+
+from repro.orderings import FatTreeOrdering, LLBOrdering, meeting_gap_profile
+from repro.svd import jacobi_svd
+
+
+def test_rotation_gap_spread(benchmark):
+    def profiles():
+        return (
+            meeting_gap_profile(FatTreeOrdering(32), n_sweeps=4),
+            meeting_gap_profile(LLBOrdering(32), n_sweeps=4),
+        )
+
+    fat, llb = benchmark(profiles)
+    print(f"\nrotation-gap profile  fat_tree: {fat}")
+    print(f"rotation-gap profile  llb     : {llb}")
+    assert fat["spread"] == 0.0
+    assert llb["spread"] > 0.0
+
+
+def test_sweep_counts_fat_vs_llb(benchmark):
+    def run():
+        rng = np.random.default_rng(5)
+        fat_sweeps, llb_sweeps, llb_even = [], [], []
+        for _ in range(4):
+            a = rng.standard_normal((48, 32))
+            fat_sweeps.append(jacobi_svd(a, ordering="fat_tree").sweeps)
+            s = jacobi_svd(a, ordering="llb").sweeps
+            llb_sweeps.append(s)
+            # disadvantage 2: if termination must land on an even sweep
+            # (so the vectors are home), odd convergence costs one more
+            llb_even.append(s if s % 2 == 0 else s + 1)
+        return np.mean(fat_sweeps), np.mean(llb_sweeps), np.mean(llb_even)
+
+    fat_mean, llb_mean, llb_even_mean = benchmark(run)
+    print(f"\nmean sweeps: fat_tree={fat_mean} llb={llb_mean} "
+          f"llb(home layout)={llb_even_mean}")
+    # the fat-tree ordering never pays the parity penalty
+    assert llb_even_mean >= llb_mean
+    assert fat_mean <= llb_even_mean

@@ -1,0 +1,36 @@
+"""TAB-TIME — simulated SVD time per ordering x topology (Section 6).
+
+The paper's conclusion: the hybrid ordering should be the most efficient
+on the CM-5; if channel capacities grow (the perfect fat-tree), the
+fat-tree ordering becomes the most attractive.
+"""
+
+from repro.analysis import render_timing_table, tab_time
+
+
+def test_tab_time_cm5(benchmark):
+    rows = benchmark(
+        tab_time, 64,
+        **{"hybrid": {"n_groups": 8}},
+    )
+    print("\n" + render_timing_table(rows))
+    cm5 = {r.ordering: r for r in rows if r.topology == "cm5"}
+    perfect = {r.ordering: r for r in rows if r.topology == "perfect"}
+    # hybrid wins on the CM-5 (communication time)
+    assert cm5["hybrid"].comm_time <= min(
+        cm5["fat_tree"].comm_time, cm5["round_robin"].comm_time
+    )
+    # the fat-tree ordering improves the most when capacity doubles
+    gain_fat = cm5["fat_tree"].comm_time - perfect["fat_tree"].comm_time
+    gain_ring = cm5["ring_new"].comm_time - perfect["ring_new"].comm_time
+    assert gain_fat >= gain_ring
+
+
+def test_tab_time_binary_tree_degradation(benchmark):
+    rows = benchmark(
+        tab_time, 32, topologies=["binary"], names=["fat_tree", "ring_new"],
+    )
+    print("\n" + render_timing_table(rows))
+    by = {r.ordering: r for r in rows}
+    # "skinny all over" punishes the fat-tree ordering hardest
+    assert by["fat_tree"].comm_time > by["ring_new"].comm_time * 0.9

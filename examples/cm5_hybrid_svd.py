@@ -1,0 +1,47 @@
+"""The paper's headline scenario: SVD on a (simulated) CM-5.
+
+Runs the same decomposition under the fat-tree, ring and hybrid
+orderings on the CM-5 tree model and on a perfect fat-tree, reporting
+the execution timeline the machine simulator measures — reproducing the
+Section 6 conclusion that the hybrid ordering suits the CM-5 best while
+the fat-tree ordering profits most from wider channels.
+
+Run:  python examples/cm5_hybrid_svd.py
+"""
+
+import numpy as np
+
+from repro import parallel_svd
+
+rng = np.random.default_rng(1)
+a = rng.standard_normal((96, 64))
+
+print(f"matrix: {a.shape[0]} x {a.shape[1]}  "
+      f"({a.shape[1] // 2} leaf processors, 2 columns each)\n")
+
+header = f"{'topology':10s} {'ordering':10s} {'sweeps':>6s} {'comm':>10s} {'total':>10s} {'max cont':>9s}"
+print(header)
+print("-" * len(header))
+
+for topology in ("cm5", "perfect", "binary"):
+    for ordering, kwargs in (
+        ("fat_tree", {}),
+        ("ring_new", {}),
+        ("hybrid", {"n_groups": 8}),
+    ):
+        result, report = parallel_svd(a, topology=topology, ordering=ordering, **kwargs)
+        assert result.converged
+        print(
+            f"{topology:10s} {ordering:10s} {result.sweeps:6d} "
+            f"{report.comm_time:10.0f} {report.total_time:10.0f} "
+            f"{report.max_contention:9.2f}"
+        )
+    print()
+
+print("Reading the table:")
+print(" * on the CM-5 model the hybrid ordering is contention-free and")
+print("   has the lowest communication time (the paper's expectation);")
+print(" * on the perfect fat-tree the fat-tree ordering catches up - its")
+print("   traffic profile exactly matches the doubling channel capacity;")
+print(" * the ordinary binary tree punishes the fat-tree ordering and")
+print("   leaves the one-directional ring ordering untouched.")

@@ -1,0 +1,47 @@
+"""Contention study: why the hybrid ordering exists (Section 5).
+
+Measures, per tree level, the worst channel oversubscription of each
+ordering on each topology, and sweeps the hybrid block size to find the
+contention-free window on the CM-5 model — the paper's "we may properly
+choose the block size so that the number of messages passing through the
+lowest skinny level do not cause contention".
+
+Run:  python examples/contention_study.py
+"""
+
+from repro.analysis import per_level_contention
+from repro.machine import make_topology
+from repro.orderings import make_ordering
+
+N = 64
+LEAVES = N // 2
+
+print(f"worst channel load/capacity per level (n={N}, {LEAVES} leaves)\n")
+for topo_name in ("perfect", "cm5", "binary"):
+    topo = make_topology(topo_name, LEAVES)
+    print(f"== {topo_name} ==")
+    caps = [topo.capacity(k) for k in range(1, topo.n_levels + 1)]
+    print(f"   channel capacities by level: {caps}")
+    for name, kwargs in (
+        ("round_robin", {}),
+        ("ring_new", {}),
+        ("fat_tree", {}),
+        ("hybrid", {"n_groups": 8}),
+    ):
+        prof = per_level_contention(make_ordering(name, N, **kwargs).sweep(0), topo)
+        cells = "  ".join(f"L{k}:{v:4.2f}" for k, v in prof.items())
+        worst = max(prof.values())
+        flag = "contention-free" if worst <= 1.0 else f"OVERSUBSCRIBED x{worst:.0f}"
+        print(f"   {name:12s} {cells}   -> {flag}")
+    print()
+
+print("hybrid block-size sweep on the CM-5 model:")
+topo = make_topology("cm5", LEAVES)
+for g in (2, 4, 8, 16):
+    K = N // (2 * g)
+    prof = per_level_contention(make_ordering("hybrid", N, n_groups=g).sweep(0), topo)
+    worst = max(prof.values())
+    verdict = "OK" if worst <= 1.0 else "contends"
+    print(f"   groups={g:3d}  block={K:3d} columns  worst={worst:4.2f}  {verdict}")
+print("\nBlocks of up to four columns fit the skinny channels -> no")
+print("contention anywhere in the tree, exactly as Section 5 argues.")

@@ -1,0 +1,34 @@
+"""Convergence study: sweeps, sortedness and the LLB comparison.
+
+Reproduces the paper's convergence-level claims on synthetic workloads:
+equivalent orderings (ring vs round-robin) converge alike, singular
+values emerge sorted, the off-diagonal mass decays quadratically once
+the iteration is close, and the Lee-Luk-Boley forward/backward scheme
+pays its parity penalty.
+
+Run:  python examples/convergence_study.py
+"""
+
+import numpy as np
+
+from repro.analysis import convergence_table, render_convergence_table, workload_matrix
+from repro.svd import jacobi_svd
+
+print("TAB-CONV on three workloads (n=32, 3 runs each)\n")
+for kind in ("gaussian", "graded", "clustered"):
+    rows = convergence_table(
+        n=32, runs=3, kind=kind, **{"hybrid": {"n_groups": 4}}
+    )
+    print(render_convergence_table(rows).replace("TAB-CONV", f"TAB-CONV [{kind}]"))
+    print()
+
+print("off-norm decay of one fat-tree run (graded spectrum):")
+rng = np.random.default_rng(3)
+a = workload_matrix(48, 32, rng, "graded")
+r = jacobi_svd(a, ordering="fat_tree")
+for h in r.history:
+    print(f"   sweep {h.sweep}: off = {h.off_norm:.3e}   rotations = {h.rotations}")
+print("\nNote the super-linear tail - the 'ultimately quadratic' rate of")
+print("Section 1.  The LLB row above needs the same sweeps to converge but")
+print("leaves the singular vectors in the wrong processors after an odd")
+print("sweep (the paper's criticism); the fat-tree ordering never does.")

@@ -1,0 +1,39 @@
+"""Symmetric eigenproblems under the same parallel orderings.
+
+The paper descends from Brent & Luk's work on "singular-value and
+symmetric eigenvalue problems on multiprocessor arrays" [2]: the very
+same parallel orderings drive the two-sided Jacobi eigenvalue method.
+This example diagonalises a symmetric matrix under several orderings
+and cross-checks the spectrum against LAPACK.
+
+Run:  python examples/eigenvalue_solver.py
+"""
+
+import numpy as np
+
+from repro import jacobi_eigh
+
+rng = np.random.default_rng(4)
+n = 32
+a = rng.standard_normal((n, n))
+a = (a + a.T) / 2.0
+
+ref = np.linalg.eigvalsh(a)[::-1]
+print(f"symmetric {n}x{n} matrix; reference spectrum head: {np.round(ref[:4], 4)}\n")
+
+for name in ("fat_tree", "ring_new", "round_robin", "hybrid"):
+    kwargs = {"n_groups": 4} if name == "hybrid" else {}
+    r = jacobi_eigh(a, ordering=name, **kwargs)
+    err = float(np.max(np.abs(r.w - ref)))
+    resid = float(np.linalg.norm(a @ r.v - r.v * r.w))
+    print(f"{name:12s}: sweeps={r.sweeps:2d} rotations={r.rotations:5d} "
+          f"max|lambda err|={err:.2e} ||Av - v diag(w)||={resid:.2e}")
+
+print("\nEquivalent orderings (ring vs round-robin) converge in nearly the")
+print("same number of sweeps - Definition 1 at work on the eigenproblem too.")
+
+# off-diagonal decay: the same quadratic tail as the SVD iteration
+r = jacobi_eigh(a, ordering="fat_tree")
+print("\noff-diagonal norm per sweep (fat-tree ordering):")
+for k, off in enumerate(r.off_history, start=1):
+    print(f"   sweep {k}: {off:.3e}")

@@ -1,0 +1,53 @@
+"""Gallery: regenerate the step tables of the paper's Figures 1-9.
+
+Run:  python examples/ordering_gallery.py
+"""
+
+from repro.analysis import (
+    fig1_ring_style,
+    fig1_round_robin,
+    fig2_basic_two_block,
+    fig3_two_block_size4,
+    fig4_basic_modules,
+    fig5_merge_scheme,
+    fig6_four_block_eight,
+    fig7_ring_ordering,
+    fig8_modified_ring,
+    fig9_hybrid_sixteen,
+    step_table,
+)
+from repro.util.formatting import render_step_table
+
+
+def show(schedule, title):
+    print(render_step_table(step_table(schedule), title=title))
+    final = schedule.final_layout()
+    print(f"      layout after sweep: {final}\n")
+
+
+show(fig1_round_robin(8), "Fig 1(b) - round-robin ordering, n=8")
+show(fig1_ring_style(8), "Fig 1(a) - odd-even (ring-style baseline), n=8")
+show(fig2_basic_two_block(), "Fig 2 - two-block basic module")
+show(fig3_two_block_size4(), "Fig 3 - two-block ordering of size 4")
+
+mod_a, mod_b = fig4_basic_modules()
+show(mod_a, "Fig 4(a) - four-index module, order preserving")
+show(mod_b, "Fig 4(b) - four-index module, 3 and 4 reversed")
+
+print("Fig 5 - merge procedure scheme, n=16")
+for s, stage in enumerate(fig5_merge_scheme(16), start=1):
+    print(f"   stage {s}: {stage}")
+print()
+
+show(fig6_four_block_eight(), "Fig 6 - four-block ordering for eight indices")
+
+ring, eq7 = fig7_ring_ordering(8)
+show(ring, "Fig 7(a) - new ring ordering, n=8")
+print(f"      equivalent to round-robin under relabelling {eq7.relabelling}\n")
+
+ring_mod, eq8 = fig8_modified_ring(8)
+show(ring_mod, "Fig 8(a) - modified ring ordering, n=8")
+
+hybrid = fig9_hybrid_sixteen()
+show(hybrid, "Fig 9 - hybrid ordering, 16 indices, 4 groups")
+print("      global communications after steps:", hybrid.notes["superstep_boundaries"])

@@ -1,0 +1,47 @@
+"""A realistic downstream pipeline: PCA + least squares on the tree SVD.
+
+The paper motivates the SVD by applications "where sufficiently small
+singular values are regarded as zero" (signal subspace methods, rank
+determination).  This example builds a noisy low-rank sensor dataset,
+identifies the signal subspace with PCA, denoises by rank truncation
+and solves a calibration least-squares problem - every step through the
+tree-ordered Jacobi SVD public API.
+
+Run:  python examples/pca_pipeline.py
+"""
+
+import numpy as np
+
+from repro.apps import lstsq, pca, truncated_svd
+
+rng = np.random.default_rng(8)
+
+# --- synthetic sensor data: 3 latent sources, 24 sensors, 200 samples
+n_samples, n_sensors, n_sources = 200, 24, 3
+sources = rng.standard_normal((n_samples, n_sources))
+mixing = rng.standard_normal((n_sources, n_sensors)) * [[5.0], [2.0], [0.8]]
+noise = 0.05 * rng.standard_normal((n_samples, n_sensors))
+data = sources @ mixing + noise
+
+# --- signal subspace via PCA (tree-ordered Jacobi SVD underneath)
+model = pca(data, k=8)
+print("explained variance ratio:", np.round(model.explained_variance_ratio, 4))
+kept = int(np.sum(model.explained_variance_ratio > 0.01))
+print(f"components above 1% variance: {kept} (true source count: {n_sources})")
+
+# --- denoise by rank truncation (Eckart-Young via truncated_svd)
+centred = data - data.mean(axis=0)
+approx = truncated_svd(centred, kept)
+clean = approx.reconstruct()
+signal = (sources - sources.mean(axis=0)) @ mixing
+err_raw = np.linalg.norm(centred - signal) / np.linalg.norm(signal)
+err_clean = np.linalg.norm(clean - signal) / np.linalg.norm(signal)
+print(f"\nrelative error vs true signal: raw {err_raw:.4f} -> denoised {err_clean:.4f}")
+print(f"rank-{kept} truncation error (exact, from sigma tail): {approx.error:.4f}")
+
+# --- calibration: recover the mixing row for a new reference channel
+reference = sources @ np.array([1.5, -2.0, 0.5]) + 0.02 * rng.standard_normal(n_samples)
+fit = lstsq(sources, reference)
+print(f"\nleast-squares calibration: rank={fit.rank} "
+      f"coefficients={np.round(fit.x, 3)} residual={fit.residual_norm:.3f}")
+print("expected coefficients    : [ 1.5 -2.   0.5]")

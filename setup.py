@@ -1,0 +1,6 @@
+"""Legacy setup shim: this offline environment has setuptools but no
+``wheel``, so PEP-660 editable installs fail; ``python setup.py develop``
+(or ``pip install -e . --no-build-isolation``) uses this file instead."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""Communication-cost accounting per ordering (TAB-COMM).
+
+Section 3's argument: on a fat-tree, locality matters — the ring and
+round-robin orderings of Fig 1 need *global* communication at every
+step, while the fat-tree ordering keeps almost all traffic at the lowest
+levels, with level-r message counts falling geometrically in r (matching
+the doubling channel capacity).  This module counts, for one sweep of
+each ordering, the messages by the tree level they climb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..orderings.base import Ordering
+from ..orderings.registry import make_ordering
+from ..util.bits import ilog2
+
+__all__ = ["CommCostRow", "comm_cost_row", "comm_cost_table"]
+
+
+@dataclass(frozen=True)
+class CommCostRow:
+    """Per-sweep communication profile of one ordering."""
+
+    ordering: str
+    n: int
+    rotation_steps: int
+    total_messages: int
+    by_level: dict[int, int]
+    top_level_messages: int
+    mean_level: float
+
+    def weighted_hops(self) -> int:
+        """Total channel-hops (each level-r message crosses 2r channels)."""
+        return sum(2 * r * c for r, c in self.by_level.items())
+
+
+def comm_cost_row(ordering: Ordering) -> CommCostRow:
+    """Measure one sweep of an ordering."""
+    sched = ordering.sweep(0)
+    hist = sched.level_histogram()
+    total = sum(hist.values())
+    top = ilog2(ordering.n // 2) if ordering.n >= 4 else 1
+    mean = (
+        sum(r * c for r, c in hist.items()) / total if total else 0.0
+    )
+    return CommCostRow(
+        ordering=ordering.name,
+        n=ordering.n,
+        rotation_steps=sched.n_rotation_steps,
+        total_messages=total,
+        by_level=hist,
+        top_level_messages=hist.get(top, 0),
+        mean_level=mean,
+    )
+
+
+def comm_cost_table(
+    n: int, names: list[str] | None = None, **kwargs_by_name: dict
+) -> list[CommCostRow]:
+    """TAB-COMM: message-by-level profile for every ordering at size n."""
+    names = names or ["round_robin", "odd_even", "ring_new", "fat_tree", "llb", "hybrid"]
+    rows = []
+    for name in names:
+        kw = kwargs_by_name.get(name, {})
+        rows.append(comm_cost_row(make_ordering(name, n, **kw)))
+    return rows

@@ -1,0 +1,108 @@
+"""Step-count optimality of parallel Jacobi orderings.
+
+A sweep must perform ``n(n-1)/2`` rotations with at most ``n/2``
+disjoint rotations per step, so ``n - 1`` steps is a hard lower bound
+for even ``n``.  The paper's fat-tree, hybrid and ring orderings all
+achieve it.  This module provides the bound, per-ordering audits, and an
+exhaustive search constructing an optimal ordering for small ``n`` —
+independent evidence that the bound is attainable (1-factorisations of
+the complete graph exist for every even ``n``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from ..orderings.base import Ordering
+from ..orderings.registry import make_ordering
+from ..util.validation import require_even
+
+__all__ = ["lower_bound_steps", "OptimalityAudit", "audit_ordering",
+           "search_optimal_ordering"]
+
+
+def lower_bound_steps(n: int) -> int:
+    """Minimum parallel steps of any Jacobi sweep on ``n`` columns."""
+    require_even(n)
+    return n - 1
+
+
+@dataclass(frozen=True)
+class OptimalityAudit:
+    ordering: str
+    n: int
+    steps: int
+    lower_bound: int
+    is_optimal: bool
+    idle_pair_slots: int  # how many rotation slots a sweep wastes
+
+
+def audit_ordering(ordering: Ordering) -> OptimalityAudit:
+    """Compare an ordering's sweep against the lower bound."""
+    sched = ordering.sweep(0)
+    steps = sched.n_rotation_steps
+    bound = lower_bound_steps(ordering.n)
+    capacity = steps * (ordering.n // 2)
+    used = sum(len(s.pairs) for s in sched.steps)
+    return OptimalityAudit(
+        ordering=ordering.name,
+        n=ordering.n,
+        steps=steps,
+        lower_bound=bound,
+        is_optimal=steps == bound,
+        idle_pair_slots=capacity - used,
+    )
+
+
+def search_optimal_ordering(n: int) -> list[list[tuple[int, int]]] | None:
+    """Exhaustively construct an (n-1)-step all-pairs ordering.
+
+    Backtracking over perfect matchings of the remaining pair set — a
+    1-factorisation of K_n.  Practical for n <= 10; used by the tests as
+    independent confirmation that the paper's step counts are optimal
+    and attainable.
+    """
+    require_even(n)
+    all_pairs = set(frozenset(p) for p in combinations(range(1, n + 1), 2))
+    steps: list[list[tuple[int, int]]] = []
+
+    def matchings(avail: set[frozenset[int]], free: set[int]):
+        if not free:
+            yield []
+            return
+        a = min(free)
+        for b in sorted(free - {a}):
+            pr = frozenset((a, b))
+            if pr in avail:
+                for rest in matchings(avail - {pr}, free - {a, b}):
+                    yield [(a, b)] + rest
+
+    def bt(avail: set[frozenset[int]]) -> bool:
+        if not avail:
+            return True
+        for match in matchings(avail, set(range(1, n + 1))):
+            chosen = {frozenset(p) for p in match}
+            steps.append(match)
+            if bt(avail - chosen):
+                return True
+            steps.pop()
+        return False
+
+    if bt(all_pairs):
+        return steps
+    return None  # pragma: no cover - K_n always 1-factorises for even n
+
+
+def audit_all(n: int, **kwargs_by_name: dict) -> list[OptimalityAudit]:
+    """Audit every registered ordering at size n."""
+    from ..orderings.registry import ordering_names
+
+    out = []
+    for name in ordering_names():
+        kw = kwargs_by_name.get(name, {})
+        try:
+            out.append(audit_ordering(make_ordering(name, n, **kw)))
+        except ValueError:
+            continue  # size not admissible for this ordering
+    return out

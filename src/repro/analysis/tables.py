@@ -1,0 +1,285 @@
+"""The experiment harness: one generator per figure/table of the paper.
+
+Every FIG/TAB identifier of DESIGN.md has a function here returning
+structured data plus a ``render_*`` helper producing the human-readable
+table the paper's figure corresponds to.  The pytest benchmarks wrap
+these functions; EXPERIMENTS.md records their output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.costmodel import CostModel
+from ..orderings.fattree import merge_stage_plan
+from ..orderings.fourblock import basic_module_schedule, four_block_schedule
+from ..orderings.oddeven import odd_even_sweep
+from ..orderings.registry import make_ordering
+from ..orderings.ringnew import ring_sweep
+from ..orderings.roundrobin import round_robin_sweep
+from ..orderings.schedule import Schedule
+from ..orderings.twoblock import two_block_schedule
+from ..parallel.driver import ParallelJacobiSVD
+from ..svd.hestenes import JacobiOptions
+from ..util.formatting import render_table
+from .commcost import comm_cost_table
+from .contention import contention_table
+from .convergence_study import convergence_table
+from .equivalence import ring_round_robin_equivalence
+
+__all__ = [
+    "step_table",
+    "fig1_round_robin",
+    "fig1_ring_style",
+    "fig2_basic_two_block",
+    "fig3_two_block_size4",
+    "fig4_basic_modules",
+    "fig5_merge_scheme",
+    "fig6_four_block_eight",
+    "fig7_ring_ordering",
+    "fig8_modified_ring",
+    "fig9_hybrid_sixteen",
+    "tab_comm",
+    "tab_contention",
+    "tab_convergence",
+    "tab_time",
+    "TimingRow",
+    "render_comm_table",
+    "render_contention_table",
+    "render_convergence_table",
+    "render_timing_table",
+]
+
+
+def step_table(schedule: Schedule) -> list[tuple[int, list[tuple[int, int]], str]]:
+    """(step, index pairs, level annotation) rows in the style of Figs 2-9.
+
+    Move-only steps become level annotations on the preceding row, which
+    is exactly how the paper typesets the inter-super-step communications
+    ("level k" / "global" lines between rows).
+    """
+    rows: list[tuple[int, list[tuple[int, int]], str]] = []
+    k = 0
+    layout_pairs = schedule.index_pairs()
+    for step, pairs in zip(schedule.steps, layout_pairs):
+        level = step.max_level()
+        ann = f"level {level}" if level else ""
+        if step.pairs:
+            k += 1
+            rows.append((k, pairs, ann))
+        elif rows:
+            old = rows[-1]
+            merged = f"{old[2]} + {ann}" if old[2] else ann
+            rows[-1] = (old[0], old[1], merged)
+    return rows
+
+
+# --------------------------------------------------------------- FIG 1 --
+
+
+def fig1_round_robin(n: int = 8) -> Schedule:
+    """Fig 1(b): the Brent-Luk round-robin ordering."""
+    return round_robin_sweep(n)
+
+
+def fig1_ring_style(n: int = 8) -> Schedule:
+    """Fig 1(a) stand-in: the classical odd-even nearest-neighbour ordering."""
+    return odd_even_sweep(n)
+
+
+# ------------------------------------------------------------ FIGS 2-3 --
+
+
+def fig2_basic_two_block() -> Schedule:
+    """Fig 2: the two-block basic module (block size two)."""
+    return two_block_schedule(2)
+
+
+def fig3_two_block_size4() -> Schedule:
+    """Fig 3: the two-block ordering of size four."""
+    return two_block_schedule(4)
+
+
+# -------------------------------------------------------------- FIG 4 ---
+
+
+def fig4_basic_modules() -> tuple[Schedule, Schedule]:
+    """Fig 4: the two four-index basic modules (order-preserving (a),
+    order-reversing (b))."""
+    return basic_module_schedule("a"), basic_module_schedule("b")
+
+
+# -------------------------------------------------------------- FIG 5 ---
+
+
+def fig5_merge_scheme(n: int = 16) -> list[list[list[int]]]:
+    """Fig 5: the merge-procedure scheme (which groups merge at each stage)."""
+    return merge_stage_plan(n)
+
+
+# -------------------------------------------------------------- FIG 6 ---
+
+
+def fig6_four_block_eight() -> Schedule:
+    """Fig 6: the four-block ordering for eight indices (7 steps)."""
+    return four_block_schedule(8)
+
+
+# ------------------------------------------------------------ FIGS 7-8 --
+
+
+def fig7_ring_ordering(n: int = 8):
+    """Fig 7: the new ring ordering and its round-robin equivalence."""
+    return ring_sweep(n, modified=False), ring_round_robin_equivalence(n, False)
+
+
+def fig8_modified_ring(n: int = 8):
+    """Fig 8: the modified ring ordering and its equivalence."""
+    return ring_sweep(n, modified=True), ring_round_robin_equivalence(n, True)
+
+
+# -------------------------------------------------------------- FIG 9 ---
+
+
+def fig9_hybrid_sixteen(n: int = 16, n_groups: int = 4) -> Schedule:
+    """Fig 9: the hybrid ordering for sixteen indices in four groups."""
+    return make_ordering("hybrid", n, n_groups=n_groups).sweep(0)
+
+
+# ------------------------------------------------------------ TAB-COMM --
+
+tab_comm = comm_cost_table
+tab_contention = contention_table
+tab_convergence = convergence_table
+
+
+def render_comm_table(rows) -> str:
+    """Text table for TAB-COMM rows."""
+    levels = sorted({r for row in rows for r in row.by_level})
+    headers = ["ordering", "steps", "msgs", *[f"lvl{r}" for r in levels], "mean lvl"]
+    data = [
+        [
+            r.ordering,
+            r.rotation_steps,
+            r.total_messages,
+            *[r.by_level.get(level, 0) for level in levels],
+            f"{r.mean_level:.2f}",
+        ]
+        for r in rows
+    ]
+    return render_table(headers, data, title=f"TAB-COMM (n={rows[0].n})")
+
+
+def render_contention_table(rows) -> str:
+    """Text table for TAB-CONT rows."""
+    headers = ["topology", "ordering", "max load/cap", "contention-free", "per level"]
+    data = [
+        [
+            r.topology,
+            r.ordering,
+            f"{r.max_contention:.2f}",
+            "yes" if r.contention_free else "NO",
+            " ".join(f"{k}:{v:.2f}" for k, v in r.by_level.items()),
+        ]
+        for r in rows
+    ]
+    return render_table(headers, data, title=f"TAB-CONT (n={rows[0].n})")
+
+
+def render_convergence_table(rows) -> str:
+    """Text table for TAB-CONV rows."""
+    headers = ["ordering", "mean sweeps", "converged", "sorted", "max sigma err"]
+    data = [
+        [
+            r.ordering,
+            f"{r.sweeps:.1f}",
+            f"{r.converged_runs}/{r.runs}",
+            f"{r.sorted_runs}/{r.runs}",
+            f"{r.max_sigma_err:.1e}",
+        ]
+        for r in rows
+    ]
+    return render_table(headers, data, title=f"TAB-CONV (n={rows[0].n})")
+
+
+# ------------------------------------------------------------ TAB-TIME --
+
+
+@dataclass(frozen=True)
+class TimingRow:
+    ordering: str
+    topology: str
+    n: int
+    sweeps: int
+    total_time: float
+    compute_time: float
+    comm_time: float
+    max_contention: float
+
+
+def tab_time(
+    n: int = 64,
+    m: int | None = None,
+    topologies: list[str] | None = None,
+    names: list[str] | None = None,
+    cost_model: CostModel | None = None,
+    seed: int = 0,
+    **kwargs_by_name: dict,
+) -> list[TimingRow]:
+    """TAB-TIME: simulated sweep time per ordering x topology.
+
+    The paper's conclusion: the hybrid ordering should be the most
+    efficient on the CM-5 (no contention, fewer global communications
+    than the ring orderings), while the fat-tree ordering becomes more
+    attractive as channel capacity grows (the perfect fat-tree column).
+    """
+    topologies = topologies or ["perfect", "cm5", "binary"]
+    names = names or ["round_robin", "ring_new", "fat_tree", "hybrid"]
+    m = m or n + n // 2
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n))
+    rows = []
+    for tname in topologies:
+        for name in names:
+            kw = kwargs_by_name.get(name, {})
+            driver = ParallelJacobiSVD(
+                topology=tname,
+                ordering=name,
+                cost_model=cost_model,
+                options=JacobiOptions(),
+                **kw,
+            )
+            result, report = driver.compute(a)
+            rows.append(
+                TimingRow(
+                    ordering=name,
+                    topology=tname,
+                    n=n,
+                    sweeps=result.sweeps,
+                    total_time=report.total_time,
+                    compute_time=report.compute_time,
+                    comm_time=report.comm_time,
+                    max_contention=report.max_contention,
+                )
+            )
+    return rows
+
+
+def render_timing_table(rows) -> str:
+    """Text table for TAB-TIME rows."""
+    headers = ["topology", "ordering", "sweeps", "total", "compute", "comm", "max cont"]
+    data = [
+        [
+            r.topology,
+            r.ordering,
+            r.sweeps,
+            f"{r.total_time:.0f}",
+            f"{r.compute_time:.0f}",
+            f"{r.comm_time:.0f}",
+            f"{r.max_contention:.2f}",
+        ]
+        for r in rows
+    ]
+    return render_table(headers, data, title=f"TAB-TIME (n={rows[0].n})")

@@ -1,0 +1,14 @@
+"""Downstream applications exercising the public SVD API."""
+
+from .lowrank import LowRankApproximation, PCAResult, pca, truncated_svd
+from .lstsq import LstsqResult, lstsq, pinv
+
+__all__ = [
+    "LowRankApproximation",
+    "LstsqResult",
+    "PCAResult",
+    "lstsq",
+    "pca",
+    "pinv",
+    "truncated_svd",
+]

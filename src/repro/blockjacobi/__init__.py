@@ -1,0 +1,5 @@
+"""Block Jacobi SVD: blocks of columns per leaf (Bischof [1], Schreiber [14])."""
+
+from .driver import BlockJacobiOptions, block_jacobi_svd
+
+__all__ = ["BlockJacobiOptions", "block_jacobi_svd"]

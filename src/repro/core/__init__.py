@@ -1,0 +1,6 @@
+"""Public facade: ``svd``, ``parallel_svd`` and the result types."""
+
+from .api import parallel_svd, svd
+from .result import SVDResult, SweepRecord
+
+__all__ = ["SVDResult", "SweepRecord", "parallel_svd", "svd"]

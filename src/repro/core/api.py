@@ -1,0 +1,76 @@
+"""Top-level convenience API.
+
+``svd`` is the one-call entry point a downstream user wants: pick an
+ordering (default: the paper's fat-tree ordering), pad to an admissible
+width if needed, run the one-sided Jacobi iteration, strip the padding.
+``parallel_svd`` does the same on a simulated tree machine and returns
+the execution telemetry alongside the decomposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.costmodel import CostModel
+from ..orderings.base import Ordering
+from ..parallel.distribution import pad_columns, strip_padding
+from ..parallel.driver import ParallelJacobiSVD, ParallelRunReport
+from ..svd.hestenes import JacobiOptions, jacobi_svd
+from ..util.bits import is_power_of_two
+from .result import SVDResult
+
+__all__ = ["svd", "parallel_svd"]
+
+
+def _needs_power_of_two(ordering: str | Ordering) -> bool:
+    name = ordering if isinstance(ordering, str) else ordering.name
+    return name in ("fat_tree", "llb", "hybrid")
+
+
+def svd(
+    a: np.ndarray,
+    ordering: str | Ordering = "fat_tree",
+    options: JacobiOptions | None = None,
+    **ordering_kwargs: object,
+) -> SVDResult:
+    """One-sided Jacobi SVD of ``a`` (m x n, m >= n) under a parallel ordering.
+
+    Matrices whose width is not admissible for the chosen ordering
+    (power of two for the tree orderings, even otherwise) are transparently
+    zero-padded and the result stripped back to ``n`` columns.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    n = a.shape[1]
+    pow2 = _needs_power_of_two(ordering)
+    admissible = (is_power_of_two(n) and n >= 4) if pow2 else (n % 2 == 0)
+    if admissible:
+        return jacobi_svd(a, ordering=ordering, options=options, **ordering_kwargs)
+    padded, orig = pad_columns(a, power_of_two=pow2)
+    result = jacobi_svd(padded, ordering=ordering, options=options,
+                        allow_wide=True, **ordering_kwargs)
+    return strip_padding(result, orig)
+
+
+def parallel_svd(
+    a: np.ndarray,
+    topology: str = "cm5",
+    ordering: str | Ordering = "hybrid",
+    cost_model: CostModel | None = None,
+    options: JacobiOptions | None = None,
+    **ordering_kwargs: object,
+) -> tuple[SVDResult, ParallelRunReport]:
+    """Distributed SVD on a simulated tree machine; returns result + telemetry."""
+    a = np.asarray(a, dtype=np.float64)
+    pow2 = _needs_power_of_two(ordering)
+    padded, orig = pad_columns(a, power_of_two=pow2)
+    driver = ParallelJacobiSVD(
+        topology=topology,
+        ordering=ordering,
+        cost_model=cost_model,
+        options=options,
+        **ordering_kwargs,
+    )
+    result, report = driver.compute(padded)
+    if padded.shape[1] != orig:
+        result = strip_padding(result, orig)
+    return result, report

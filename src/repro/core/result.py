@@ -1,0 +1,54 @@
+"""Result types for the SVD drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SVDResult", "SweepRecord"]
+
+
+@dataclass
+class SweepRecord:
+    """Per-sweep convergence diagnostics."""
+
+    sweep: int
+    off_norm: float
+    max_rel_gamma: float
+    rotations: int
+    skipped: int
+
+
+@dataclass
+class SVDResult:
+    """Outcome of a one-sided Jacobi SVD.
+
+    ``u`` has orthonormal columns spanning the range of ``a`` (zero
+    columns past the numerical rank ``rank``), ``sigma`` is nonincreasing
+    and ``v`` orthogonal, with ``a ~ u @ diag(sigma) @ v.T``.
+    ``sigma_by_slot`` preserves the physical slot order at termination —
+    the quantity the paper's sorted-output claims are about — while
+    ``sigma`` is canonically sorted for consumers.
+    """
+
+    u: np.ndarray
+    sigma: np.ndarray
+    v: np.ndarray
+    rank: int
+    converged: bool
+    sweeps: int
+    rotations: int
+    sigma_by_slot: np.ndarray
+    emerged_sorted: str | None
+    history: list[SweepRecord] = field(default_factory=list)
+
+    def reconstruct(self) -> np.ndarray:
+        """``u @ diag(sigma) @ v.T`` (``u``, ``sigma``, ``v`` share the
+        canonical nonincreasing order)."""
+        return (self.u * self.sigma) @ self.v.T
+
+    def reconstruction_error(self, a: np.ndarray) -> float:
+        """Relative Frobenius reconstruction error against ``a``."""
+        denom = np.linalg.norm(a) or 1.0
+        return float(np.linalg.norm(a - self.reconstruct()) / denom)

@@ -1,0 +1,5 @@
+"""Symmetric eigenproblems under the same parallel orderings (Brent-Luk [2])."""
+
+from .jacobi import EigOptions, EigResult, jacobi_eigh, symmetric_off_norm
+
+__all__ = ["EigOptions", "EigResult", "jacobi_eigh", "symmetric_off_norm"]

@@ -1,0 +1,179 @@
+"""Two-sided Jacobi symmetric eigensolver driven by the parallel orderings.
+
+The paper's lineage (Brent & Luk [2]: "The solution of singular-value
+and *symmetric eigenvalue* problems on multiprocessor arrays") applies
+the same parallel orderings to the classical two-sided Jacobi method:
+each step annihilates the off-diagonal entries of the disjoint index
+pairs the ordering prescribes, ``A <- J^T A J``, and a sweep visits
+every pair exactly once.  Any ordering from :mod:`repro.orderings`
+drives the sweep; column moves translate into symmetric row+column
+permutations, so the tree-locality properties carry over unchanged.
+
+The kernels are vectorised over the disjoint pairs of a step: one fused
+row update and one fused column update per step instead of a Python
+loop over pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..orderings.base import Ordering
+from ..orderings.registry import make_ordering
+from ..util.validation import require
+
+__all__ = ["EigOptions", "EigResult", "jacobi_eigh", "symmetric_off_norm"]
+
+
+@dataclass(frozen=True)
+class EigOptions:
+    """Tuning knobs of the two-sided Jacobi iteration."""
+
+    tol: float = 1e-12
+    max_sweeps: int = 60
+    sort: str | None = "desc"
+
+
+@dataclass
+class EigResult:
+    """Eigendecomposition ``a = v @ diag(w) @ v.T``.
+
+    ``w`` is sorted (nonincreasing by default); ``v`` is orthogonal with
+    columns in the matching order.
+    """
+
+    w: np.ndarray
+    v: np.ndarray
+    converged: bool
+    sweeps: int
+    rotations: int
+    off_history: list[float] = field(default_factory=list)
+
+    def reconstruct(self) -> np.ndarray:
+        return (self.v * self.w) @ self.v.T
+
+
+def symmetric_off_norm(a: np.ndarray) -> float:
+    """Frobenius norm of the strict off-diagonal part."""
+    off = a - np.diag(np.diag(a))
+    return float(np.linalg.norm(off))
+
+
+def _eig_rotation_params(app: np.ndarray, aqq: np.ndarray, apq: np.ndarray):
+    """Classical symmetric Jacobi angles annihilating ``a_pq`` (vectorised)."""
+    c = np.ones_like(app)
+    s = np.zeros_like(app)
+    nz = apq != 0.0
+    if np.any(nz):
+        theta = (aqq[nz] - app[nz]) / (2.0 * apq[nz])
+        t = np.sign(theta) / (np.abs(theta) + np.sqrt(1.0 + theta * theta))
+        t = np.where(theta == 0.0, 1.0, t)
+        cn = 1.0 / np.sqrt(1.0 + t * t)
+        c[nz] = cn
+        s[nz] = t * cn
+    return c, s
+
+
+def _apply_two_sided(A: np.ndarray, V: np.ndarray | None,
+                     p: np.ndarray, q: np.ndarray,
+                     c: np.ndarray, s: np.ndarray) -> None:
+    """``A <- J^T A J`` for the disjoint rotations J(p_k, q_k, theta_k)."""
+    # row update: rows p and q mix
+    Ap = A[p, :]
+    Aq = A[q, :]
+    A[p, :] = c[:, None] * Ap - s[:, None] * Aq
+    A[q, :] = s[:, None] * Ap + c[:, None] * Aq
+    # column update
+    Ap = A[:, p]
+    Aq = A[:, q]
+    A[:, p] = c * Ap - s * Aq
+    A[:, q] = s * Ap + c * Aq
+    if V is not None:
+        Vp = V[:, p]
+        Vq = V[:, q]
+        V[:, p] = c * Vp - s * Vq
+        V[:, q] = s * Vp + c * Vq
+
+
+def jacobi_eigh(
+    a: np.ndarray,
+    ordering: str | Ordering = "fat_tree",
+    options: EigOptions | None = None,
+    compute_v: bool = True,
+    **ordering_kwargs: object,
+) -> EigResult:
+    """Eigendecomposition of a symmetric matrix under a parallel ordering.
+
+    The iteration stops after the first complete sweep in which every
+    prescribed pair already satisfies the relative threshold
+    ``|a_pq| <= tol * sqrt(|a_pp a_qq|)`` (or the absolute scale of the
+    matrix when a diagonal entry vanishes).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    require(a.ndim == 2 and a.shape[0] == a.shape[1], "square matrix expected")
+    require(np.allclose(a, a.T, atol=1e-12 * max(1.0, float(np.abs(a).max(initial=0.0)))),
+            "matrix must be symmetric")
+    n = a.shape[0]
+    opts = options or EigOptions()
+    if isinstance(ordering, Ordering):
+        require(ordering.n == n, "ordering size mismatch")
+        ord_obj = ordering
+    else:
+        ord_obj = make_ordering(ordering, n, **ordering_kwargs)
+
+    A = a.copy()
+    V = np.eye(n) if compute_v else None
+    scale = max(1.0, float(np.abs(a).max(initial=0.0)))
+    history: list[float] = []
+    rotations = 0
+    converged = False
+    sweeps = 0
+    # logical labels follow the moves; pairs address matrix indices through
+    # the slot -> index map so the schedule machinery is reused verbatim
+    slot_index = np.arange(n, dtype=np.intp)
+    for sweep in range(opts.max_sweeps):
+        sched = ord_obj.sweep(sweep)
+        worst = 0.0
+        for step in sched.steps:
+            if step.pairs:
+                sa = np.fromiter((pr[0] for pr in step.pairs), dtype=np.intp)
+                sb = np.fromiter((pr[1] for pr in step.pairs), dtype=np.intp)
+                p = slot_index[sa]
+                q = slot_index[sb]
+                app = A[p, p]
+                aqq = A[q, q]
+                apq = A[p, q]
+                denom = np.sqrt(np.abs(app * aqq))
+                denom = np.where(denom > 0, denom, scale)
+                rel = np.abs(apq) / denom
+                worst = max(worst, float(rel.max(initial=0.0)))
+                rotate = rel > opts.tol
+                if np.any(rotate):
+                    c, s = _eig_rotation_params(app[rotate], aqq[rotate], apq[rotate])
+                    _apply_two_sided(A, V, p[rotate], q[rotate], c, s)
+                    rotations += int(np.count_nonzero(rotate))
+            if step.moves:
+                src = np.fromiter((m.src for m in step.moves), dtype=np.intp)
+                dst = np.fromiter((m.dst for m in step.moves), dtype=np.intp)
+                slot_index[dst] = slot_index[src]
+        sweeps = sweep + 1
+        history.append(symmetric_off_norm(A))
+        if worst <= opts.tol:
+            converged = True
+            break
+
+    w = np.diag(A).copy()
+    if opts.sort == "desc":
+        order = np.argsort(-w, kind="stable")
+    elif opts.sort == "asc":
+        order = np.argsort(w, kind="stable")
+    else:
+        order = np.arange(n)
+    w = w[order]
+    v = V[:, order] if compute_v else np.zeros((n, 0))
+    return EigResult(
+        w=w, v=v, converged=converged, sweeps=sweeps,
+        rotations=rotations, off_history=history,
+    )

@@ -1,0 +1,52 @@
+"""Simulated tree-architecture machine: topologies, routing, cost model."""
+
+from .collectives import (
+    CollectiveCost,
+    collective_cost,
+    tree_allreduce,
+    tree_broadcast,
+    tree_reduce,
+    tree_scan,
+)
+from .costmodel import CostModel
+from .routing import MessagePhase, route_phase
+from .simulator import TreeMachine
+from .stats import StepRecord, SweepStats
+from .trace import UtilizationSummary, render_gantt, render_timeline, utilization
+from .topology import (
+    TOPOLOGIES,
+    BinaryTree,
+    CM5Tree,
+    Channel,
+    PerfectFatTree,
+    SkinnyFatTree,
+    TreeTopology,
+    make_topology,
+)
+
+__all__ = [
+    "BinaryTree",
+    "CollectiveCost",
+    "UtilizationSummary",
+    "collective_cost",
+    "render_gantt",
+    "render_timeline",
+    "tree_allreduce",
+    "tree_broadcast",
+    "tree_reduce",
+    "tree_scan",
+    "utilization",
+    "CM5Tree",
+    "Channel",
+    "CostModel",
+    "MessagePhase",
+    "PerfectFatTree",
+    "SkinnyFatTree",
+    "StepRecord",
+    "SweepStats",
+    "TOPOLOGIES",
+    "TreeMachine",
+    "TreeTopology",
+    "make_topology",
+    "route_phase",
+]

@@ -1,0 +1,111 @@
+"""Tree collectives: cost and data semantics on the modelled machine.
+
+Fat-trees are natural collective machines (Leiserson [9]): a broadcast,
+reduction or all-reduce flows once up and once down the tree.  The
+parallel driver charges one all-reduce per sweep for its convergence
+flag; this module provides both the analytic costs of the standard
+collectives on a :class:`~repro.machine.topology.TreeTopology` and their
+data semantics over per-leaf values (used by the tests to validate the
+cost formulas against an explicit message-level simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+from ..util.validation import require
+from .costmodel import CostModel
+from .topology import TreeTopology
+
+__all__ = ["CollectiveCost", "collective_cost", "tree_reduce", "tree_broadcast",
+           "tree_allreduce", "tree_scan"]
+
+
+@dataclass(frozen=True)
+class CollectiveCost:
+    """Cost of one collective: phases, per-level channel crossings, time."""
+
+    kind: str
+    phases: int
+    channel_crossings: int
+    time: float
+
+
+def collective_cost(
+    kind: str,
+    topology: TreeTopology,
+    words: int,
+    cost_model: CostModel | None = None,
+) -> CollectiveCost:
+    """Analytic cost of a collective over all leaves.
+
+    ``reduce``/``broadcast`` traverse the tree once (L levels);
+    ``allreduce`` is a reduce followed by a broadcast; ``allgather``
+    doubles the payload per level on the way down; ``scan`` is an
+    up-sweep plus a down-sweep (Blelloch).  Channels carry one message
+    per child-parent link per phase, so collectives never contend.
+    """
+    cm = cost_model or CostModel()
+    L = max(1, topology.n_levels)
+    per_traversal = topology.n_leaves - 1  # edges of the tree
+    if kind in ("reduce", "broadcast"):
+        phases = L
+        crossings = per_traversal
+        time = cm.alpha + cm.hop_time * L + cm.beta * words * L
+    elif kind in ("allreduce", "scan"):
+        phases = 2 * L
+        crossings = 2 * per_traversal
+        time = 2 * (cm.alpha + cm.hop_time * L + cm.beta * words * L)
+    elif kind == "allgather":
+        phases = 2 * L
+        crossings = 2 * per_traversal
+        # payload doubles per level on the way down: words * (2^L - 1)/L per
+        # level on average; charge the worst (final) level's payload
+        time = (
+            2 * cm.alpha
+            + 2 * cm.hop_time * L
+            + cm.beta * words * (topology.n_leaves - 1)
+        )
+    else:
+        raise ValueError(f"unknown collective {kind!r}")
+    return CollectiveCost(kind=kind, phases=phases, channel_crossings=crossings, time=time)
+
+
+def tree_reduce(values: Sequence[float], op: Callable[[float, float], float]) -> float:
+    """Reduce per-leaf values exactly as the tree would (pairwise up-sweep).
+
+    The combination ORDER matters for non-associative float ops; this is
+    the order a synchronous binary-tree reduction produces.
+    """
+    vals = list(values)
+    require(len(vals) > 0 and (len(vals) & (len(vals) - 1)) == 0,
+            "need a power-of-two number of leaves")
+    while len(vals) > 1:
+        vals = [op(vals[i], vals[i + 1]) for i in range(0, len(vals), 2)]
+    return vals[0]
+
+
+def tree_broadcast(value: float, n_leaves: int) -> list[float]:
+    """Broadcast a root value to every leaf."""
+    require(n_leaves >= 1, "need at least one leaf")
+    return [value] * n_leaves
+
+
+def tree_allreduce(values: Sequence[float], op: Callable[[float, float], float]) -> list[float]:
+    """Reduce then broadcast: every leaf receives the same combined value."""
+    total = tree_reduce(values, op)
+    return tree_broadcast(total, len(values))
+
+
+def tree_scan(values: Sequence[float], op: Callable[[float, float], float]) -> list[float]:
+    """Inclusive prefix combine (Blelloch up/down sweep order)."""
+    vals = list(values)
+    require(len(vals) > 0 and (len(vals) & (len(vals) - 1)) == 0,
+            "need a power-of-two number of leaves")
+    out = []
+    acc = None
+    for v in vals:
+        acc = v if acc is None else op(acc, v)
+        out.append(acc)
+    return out

@@ -1,0 +1,64 @@
+"""Synchronous alpha-beta cost model for simulated sweeps.
+
+Each schedule step is a compute phase followed by a communication phase:
+
+* compute: the slowest leaf performs its rotations back-to-back; one
+  rotation on columns of length ``m`` costs ``rotation_flops(m)`` =
+  ``~10 m`` flops (three fused dot products + two column updates);
+* communication: all messages of the phase start together; a channel
+  with ``load`` messages and ``capacity`` wires serialises them in
+  ``ceil(load / capacity)`` rounds, so the phase's transfer time is
+  ``beta * words * max_round_count`` plus a per-phase startup ``alpha``
+  charged once (wormhole-style synchronous phase, the regime the CM-5
+  measurements of [13] motivate: contention, not distance, dominates).
+
+The constants default to a CM-5-flavoured balance (fast channels,
+expensive startup relative to flops) but are plain dataclass fields —
+the TAB-TIME experiment sweeps them to find the fat-tree/hybrid
+crossover the paper's conclusion anticipates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .routing import MessagePhase
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Time constants, in arbitrary consistent units (say, microseconds).
+
+    ``alpha``      — per-phase message startup overhead
+    ``beta``       — per-word transfer time on one channel wire
+    ``flop_time``  — time per floating point operation
+    ``hop_time``   — per-level pipelining latency of a message
+    """
+
+    alpha: float = 50.0
+    beta: float = 0.25
+    flop_time: float = 0.01
+    hop_time: float = 2.0
+
+    def rotation_flops(self, m: int) -> int:
+        """Flops of one plane rotation on two length-``m`` columns:
+        3 dot products (6m) plus the 2-column update (4m)."""
+        return 10 * m
+
+    def compute_time(self, max_rotations_per_leaf: int, m: int) -> float:
+        """Compute phase: the busiest leaf's rotations, serialised."""
+        return max_rotations_per_leaf * self.rotation_flops(m) * self.flop_time
+
+    def comm_time(self, phase: MessagePhase, words_per_message: int) -> float:
+        """Communication phase under channel serialisation."""
+        if phase.n_messages == 0:
+            return 0.0
+        rounds = max(1, math.ceil(phase.contention - 1e-12))
+        return (
+            self.alpha
+            + self.hop_time * 2 * phase.max_level
+            + self.beta * words_per_message * rounds
+        )

@@ -1,0 +1,59 @@
+"""Aggregated execution statistics of a simulated sweep."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["StepRecord", "SweepStats"]
+
+
+@dataclass
+class StepRecord:
+    """Per-step timing and traffic."""
+
+    step: int
+    rotations: int
+    messages: int
+    max_level: int
+    contention: float
+    compute_time: float
+    comm_time: float
+
+
+@dataclass
+class SweepStats:
+    """Whole-sweep aggregates produced by the simulator."""
+
+    steps: list[StepRecord] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        return sum(s.compute_time + s.comm_time for s in self.steps)
+
+    @property
+    def compute_time(self) -> float:
+        return sum(s.compute_time for s in self.steps)
+
+    @property
+    def comm_time(self) -> float:
+        return sum(s.comm_time for s in self.steps)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(s.messages for s in self.steps)
+
+    @property
+    def max_contention(self) -> float:
+        return max((s.contention for s in self.steps), default=0.0)
+
+    @property
+    def contention_free(self) -> bool:
+        """True when no channel was ever oversubscribed (Section 5 claim)."""
+        return self.max_contention <= 1.0
+
+    def level_histogram(self) -> dict[int, int]:
+        hist: dict[int, int] = {}
+        for s in self.steps:
+            if s.messages:
+                hist[s.max_level] = hist.get(s.max_level, 0) + s.messages
+        return dict(sorted(hist.items()))

@@ -1,0 +1,159 @@
+"""Tree interconnect topologies (Section 2 of the paper).
+
+A fat-tree is a complete binary tree with processors at the leaves and a
+pair of directed channels per edge.  Levels are numbered from the leaves
+up starting at 1; in a *perfect* binary fat-tree the channel capacity
+doubles per level (``cap(k) = 2^(k-1)``), keeping the aggregate
+bandwidth of every level constant.  A *skinny* fat-tree grows capacity
+more slowly above some level:
+
+* the ordinary binary tree is "skinny all over" (capacity 1 everywhere);
+* the ``SkinnyFatTree`` stops doubling above a cut level;
+* the CM-5 data network is a 4-way tree whose bottom level matches the
+  bottom two levels of a perfect binary fat-tree, with capacity doubling
+  per 4-way level (i.e. ~sqrt(2) per binary level) above that.  In
+  binary-equivalent terms: ``cap(1) = 1``, ``cap(k) = 2^ceil(k/2)`` for
+  ``k >= 2`` — skinny relative to perfect from level 3 upward.
+
+Channels are identified by ``(level, subtree_index, direction)``; a
+message between two leaves climbs to their lowest common ancestor and
+descends, using one channel per level in each direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.bits import comm_level, ilog2
+from ..util.validation import require, require_power_of_two
+
+__all__ = [
+    "Channel",
+    "TreeTopology",
+    "PerfectFatTree",
+    "BinaryTree",
+    "SkinnyFatTree",
+    "CM5Tree",
+    "TOPOLOGIES",
+    "make_topology",
+]
+
+
+@dataclass(frozen=True)
+class Channel:
+    """One directed channel: ``level`` >= 1, subtree index, up/down flag."""
+
+    level: int
+    index: int
+    up: bool
+
+
+class TreeTopology:
+    """Base class: a complete binary tree over ``n_leaves`` processors."""
+
+    name = "tree"
+
+    def __init__(self, n_leaves: int):
+        require_power_of_two(n_leaves, "n_leaves")
+        self.n_leaves = n_leaves
+        self.n_levels = ilog2(n_leaves) if n_leaves > 1 else 0
+
+    def capacity(self, level: int) -> int:
+        """Channel capacity (wire count) at a tree level."""
+        raise NotImplementedError
+
+    def comm_level(self, leaf_a: int, leaf_b: int) -> int:
+        """Levels a message between two leaves must climb (0 if same leaf)."""
+        self._check_leaf(leaf_a)
+        self._check_leaf(leaf_b)
+        return comm_level(leaf_a, leaf_b)
+
+    def path(self, src: int, dst: int) -> list[Channel]:
+        """Channels crossed by a message from ``src`` to ``dst``."""
+        self._check_leaf(src)
+        self._check_leaf(dst)
+        if src == dst:
+            return []
+        r = comm_level(src, dst)
+        chans = [Channel(level=k, index=src >> (k - 1), up=True) for k in range(1, r + 1)]
+        chans += [Channel(level=k, index=dst >> (k - 1), up=False) for k in range(r, 0, -1)]
+        return chans
+
+    def total_capacity(self, level: int) -> int:
+        """Aggregate capacity of a level (capacity x number of channels)."""
+        require(1 <= level <= self.n_levels, f"level {level} out of range")
+        return self.capacity(level) * (self.n_leaves >> (level - 1))
+
+    def _check_leaf(self, leaf: int) -> None:
+        require(0 <= leaf < self.n_leaves,
+                f"leaf {leaf} out of range for {self.n_leaves}-leaf tree")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n_leaves={self.n_leaves})"
+
+
+class PerfectFatTree(TreeTopology):
+    """Capacity doubles each level: constant aggregate bandwidth per level."""
+
+    name = "perfect_fat_tree"
+
+    def capacity(self, level: int) -> int:
+        return 1 << (level - 1)
+
+
+class BinaryTree(TreeTopology):
+    """Ordinary binary tree — "skinny all over": capacity 1 everywhere."""
+
+    name = "binary_tree"
+
+    def capacity(self, level: int) -> int:
+        return 1
+
+
+class SkinnyFatTree(TreeTopology):
+    """Perfect up to ``skinny_above``, constant capacity beyond it."""
+
+    name = "skinny_fat_tree"
+
+    def __init__(self, n_leaves: int, skinny_above: int = 2):
+        super().__init__(n_leaves)
+        require(skinny_above >= 1, "skinny_above must be >= 1")
+        self.skinny_above = skinny_above
+
+    def capacity(self, level: int) -> int:
+        return 1 << (min(level, self.skinny_above) - 1)
+
+
+class CM5Tree(TreeTopology):
+    """Binary-equivalent model of the CM-5 data network.
+
+    The bottom 4-way level equals the bottom two binary levels of a
+    perfect fat-tree; above that, capacity doubles per 4-way level
+    (x sqrt(2) per binary level): ``1, 2, 4, 4, 8, 8, 16, ...``.
+    """
+
+    name = "cm5"
+
+    def capacity(self, level: int) -> int:
+        if level <= 1:
+            return 1
+        return 1 << ((level + 1) // 2)  # 2^ceil(level/2)
+
+
+TOPOLOGIES = {
+    "perfect": PerfectFatTree,
+    "binary": BinaryTree,
+    "skinny": SkinnyFatTree,
+    "cm5": CM5Tree,
+}
+
+
+def make_topology(name: str, n_leaves: int, **kwargs: object) -> TreeTopology:
+    """Instantiate a topology by short name."""
+    try:
+        cls = TOPOLOGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; available: {', '.join(sorted(TOPOLOGIES))}"
+        ) from None
+    return cls(n_leaves, **kwargs)

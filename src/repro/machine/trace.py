@@ -1,0 +1,100 @@
+"""Execution-trace rendering: text timelines and utilization summaries.
+
+Turns the :class:`~repro.machine.stats.SweepStats` a simulated sweep
+produces into human-readable artefacts: a compact per-step table, a
+proportional text Gantt strip (compute vs communication), and aggregate
+utilization figures — the practical lens on the paper's "a problem
+compute-bound on a serial computer may be communication-bound on a
+parallel computer".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.formatting import render_table
+from .stats import SweepStats
+
+__all__ = ["UtilizationSummary", "utilization", "render_timeline", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class UtilizationSummary:
+    """Aggregate efficiency figures of one sweep."""
+
+    total_time: float
+    compute_time: float
+    comm_time: float
+    compute_fraction: float
+    messages: int
+    busiest_step: int
+    max_contention: float
+
+    @property
+    def communication_bound(self) -> bool:
+        return self.compute_fraction < 0.5
+
+
+def utilization(stats: SweepStats) -> UtilizationSummary:
+    """Summarise a sweep's timeline."""
+    total = stats.total_time
+    comp = stats.compute_time
+    busiest = max(
+        stats.steps,
+        key=lambda s: s.compute_time + s.comm_time,
+        default=None,
+    )
+    return UtilizationSummary(
+        total_time=total,
+        compute_time=comp,
+        comm_time=stats.comm_time,
+        compute_fraction=(comp / total) if total > 0 else 1.0,
+        messages=stats.total_messages,
+        busiest_step=busiest.step if busiest else 0,
+        max_contention=stats.max_contention,
+    )
+
+
+def render_timeline(stats: SweepStats, max_rows: int | None = 20) -> str:
+    """Per-step table: rotations, messages, level, contention, times."""
+    steps = stats.steps if max_rows is None else stats.steps[:max_rows]
+    rows = [
+        [
+            s.step,
+            s.rotations,
+            s.messages,
+            s.max_level,
+            f"{s.contention:.2f}",
+            f"{s.compute_time:.1f}",
+            f"{s.comm_time:.1f}",
+        ]
+        for s in steps
+    ]
+    table = render_table(
+        ["step", "rot", "msgs", "level", "cont", "compute", "comm"],
+        rows,
+        title="sweep timeline",
+    )
+    if max_rows is not None and len(stats.steps) > max_rows:
+        table += f"\n... ({len(stats.steps) - max_rows} more steps)"
+    return table
+
+
+def render_gantt(stats: SweepStats, width: int = 60) -> str:
+    """A proportional strip per step: ``#`` compute time, ``~`` comm time.
+
+    The strip lengths share one global scale so the eye can compare
+    steps; a sweep dominated by ``~`` is communication-bound.
+    """
+    longest = max(
+        (s.compute_time + s.comm_time for s in stats.steps), default=0.0
+    )
+    if longest <= 0:
+        return "(empty sweep)"
+    lines = []
+    for s in stats.steps:
+        c = int(round(width * s.compute_time / longest))
+        m = int(round(width * s.comm_time / longest))
+        lines.append(f"{s.step:>4} |{'#' * c}{'~' * m}")
+    lines.append(f"{'':>4}  # compute   ~ communication   scale: {longest:.1f} time units")
+    return "\n".join(lines)

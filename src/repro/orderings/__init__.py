@@ -1,0 +1,94 @@
+"""Parallel Jacobi orderings for one-sided SVD on tree architectures.
+
+The subpackage implements the three orderings contributed by the paper
+(fat-tree, new ring, hybrid), the baselines it compares against
+(round-robin, odd-even, Lee-Luk-Boley), and the machinery shared by all
+of them: the explicit-communication :class:`~repro.orderings.schedule.Schedule`
+representation and the property validators of
+:mod:`repro.orderings.properties`.
+"""
+
+from .base import Ordering
+from .fattree import FatTreeOrdering, fat_tree_sweep, merge_stage_plan
+from .fourblock import (
+    basic_module_fragments,
+    basic_module_schedule,
+    four_block_schedule,
+    merge_stage_fragments,
+)
+from .hybrid import HybridOrdering, hybrid_sweep
+from .llb import LLBOrdering, llb_backward_sweep, llb_forward_sweep
+from .oddeven import OddEvenOrdering, odd_even_sweep
+from .properties import (
+    ValidityReport,
+    check_all_pairs_once,
+    check_local_pairs,
+    check_one_directional,
+    find_relabelling,
+    meeting_gap_profile,
+    relabelling_equivalent,
+    sweep_message_counts,
+)
+from .registry import ORDERINGS, make_ordering, ordering_names
+from .ringnew import (
+    RingOrdering,
+    folded_layout,
+    ring_pair_schedule,
+    ring_realization,
+    ring_sweep,
+    round_robin_relabelling,
+)
+from .roundrobin import RoundRobinOrdering, round_robin_sweep
+from .schedule import Move, Schedule, Step, apply_moves, compose_moves, permutation_of_sweep
+from .visualize import render_grid_steps, render_movements, trajectory_table
+from .twoblock import StepFragment, merge_parallel, two_block_fragments, two_block_schedule
+
+__all__ = [
+    "Move",
+    "ORDERINGS",
+    "Ordering",
+    "FatTreeOrdering",
+    "HybridOrdering",
+    "LLBOrdering",
+    "OddEvenOrdering",
+    "RingOrdering",
+    "RoundRobinOrdering",
+    "Schedule",
+    "Step",
+    "StepFragment",
+    "ValidityReport",
+    "apply_moves",
+    "basic_module_fragments",
+    "basic_module_schedule",
+    "check_all_pairs_once",
+    "check_local_pairs",
+    "check_one_directional",
+    "compose_moves",
+    "fat_tree_sweep",
+    "find_relabelling",
+    "folded_layout",
+    "four_block_schedule",
+    "hybrid_sweep",
+    "llb_backward_sweep",
+    "llb_forward_sweep",
+    "make_ordering",
+    "meeting_gap_profile",
+    "merge_parallel",
+    "merge_stage_fragments",
+    "merge_stage_plan",
+    "odd_even_sweep",
+    "ordering_names",
+    "permutation_of_sweep",
+    "relabelling_equivalent",
+    "ring_pair_schedule",
+    "ring_realization",
+    "ring_sweep",
+    "round_robin_relabelling",
+    "render_grid_steps",
+    "render_movements",
+    "round_robin_sweep",
+    "trajectory_table",
+    "sweep_message_counts",
+    "two_block_fragments",
+    "two_block_schedule",
+]

@@ -1,0 +1,74 @@
+"""Abstract base for parallel Jacobi orderings.
+
+An :class:`Ordering` is a factory of per-sweep :class:`~repro.orderings.schedule.Schedule`
+objects.  Most orderings use the same schedule every sweep; the
+Lee-Luk-Boley baseline alternates a forward and a backward schedule,
+which is exactly the behaviour the paper criticises.
+"""
+
+from __future__ import annotations
+
+import abc
+from functools import lru_cache
+
+from .schedule import Schedule, permutation_of_sweep
+
+__all__ = ["Ordering"]
+
+
+class Ordering(abc.ABC):
+    """A parallel Jacobi ordering over ``n`` logical columns.
+
+    Subclasses implement :meth:`build_sweep`; the base class provides
+    caching, the sweep permutation, and the restoration period (the number
+    of consecutive sweeps after which every column is back in its home
+    slot — 1 for the fat-tree ordering, 2 for the ring orderings).
+    """
+
+    #: short machine-readable name used by the registry and reports
+    name: str = "ordering"
+
+    def __init__(self, n: int):
+        self.n = n
+        self._sweep_cache: dict[int, Schedule] = {}
+
+    @abc.abstractmethod
+    def build_sweep(self, sweep_index: int) -> Schedule:
+        """Construct the schedule for the given (0-based) sweep."""
+
+    def sweep(self, sweep_index: int = 0) -> Schedule:
+        """Cached schedule for a sweep; most orderings are sweep-invariant."""
+        key = self.sweep_key(sweep_index)
+        if key not in self._sweep_cache:
+            self._sweep_cache[key] = self.build_sweep(key)
+        return self._sweep_cache[key]
+
+    def sweep_key(self, sweep_index: int) -> int:
+        """Collapse equivalent sweep indices (default: all sweeps identical)."""
+        return 0
+
+    @property
+    def n_steps(self) -> int:
+        """Steps per sweep."""
+        return self.sweep(0).n_steps
+
+    def sweep_permutation(self, sweep_index: int = 0) -> list[int]:
+        """Slot permutation applied by one sweep (see ``permutation_of_sweep``)."""
+        return permutation_of_sweep(self.sweep(sweep_index))
+
+    @lru_cache(maxsize=None)
+    def restoration_period(self, max_period: int = 16) -> int:
+        """Smallest k such that k consecutive sweeps restore the layout.
+
+        Returns ``0`` if no period <= ``max_period`` exists (pathological;
+        none of the implemented orderings hit this).
+        """
+        layout = list(range(self.n))
+        for k in range(1, max_period + 1):
+            layout = self.sweep(k - 1).final_layout(layout)
+            if layout == list(range(self.n)):
+                return k
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={self.n})"

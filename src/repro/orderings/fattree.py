@@ -1,0 +1,87 @@
+"""The paper's fat-tree ordering (Section 3.3, Figs 5-6).
+
+The merge procedure: the ``n`` indices start in ``n/4`` groups of four
+(two leaves each); stage 1 lets each group's indices meet via the
+Fig 4(a) basic module; every subsequent stage merges neighbouring groups
+with the four-block merge stage until one group spans the machine.
+A sweep takes exactly ``n - 1`` steps and — unlike the Lee-Luk-Boley
+ordering — returns every column to its home slot after *every* sweep,
+so no backward sweeps are needed and the gap between successive
+rotations of any fixed pair is constant.
+
+Communication locality is geometric: stage ``s`` is the only part of the
+sweep that touches level ``s + 1`` of the tree, and it moves a constant
+number of columns per leaf across it, matching the doubling channel
+capacity of a perfect fat-tree (constant per-level bandwidth demand).
+"""
+
+from __future__ import annotations
+
+from ..util.validation import require_power_of_two
+from .base import Ordering
+from .fourblock import basic_module_fragments, merge_stage_fragments
+from .schedule import Schedule, Step
+from .twoblock import StepFragment, merge_parallel
+
+__all__ = ["FatTreeOrdering", "fat_tree_sweep", "merge_stage_plan"]
+
+
+def merge_stage_plan(n: int) -> list[list[list[int]]]:
+    """The Fig 5 scheme: for each stage, the groups (as leaf lists) it merges.
+
+    Stage 1 entries are single groups of two leaves (the basic modules);
+    each later stage lists ``[left_leaves, right_leaves]`` merge pairs.
+    """
+    require_power_of_two(n, "n", minimum=4)
+    n_leaves = n // 2
+    plan: list[list[list[int]]] = []
+    plan.append([[2 * g, 2 * g + 1] for g in range(n_leaves // 2)])
+    size = 2
+    while size < n_leaves:
+        stage = []
+        for start in range(0, n_leaves, 2 * size):
+            left = list(range(start, start + size))
+            right = list(range(start + size, start + 2 * size))
+            stage.append([left, right])
+        plan.append(stage)
+        size *= 2
+    return plan
+
+
+def fat_tree_sweep(n: int, variant: str = "a") -> Schedule:
+    """One sweep (``n - 1`` steps) of the fat-tree ordering."""
+    require_power_of_two(n, "n", minimum=4)
+    plan = merge_stage_plan(n)
+    # stage 1: Fig 4 basic modules in every group of two leaves
+    frags: list[StepFragment] = merge_parallel(
+        *[basic_module_fragments(a, b, variant) for a, b in plan[0]]
+    )
+    for stage in plan[1:]:
+        pre_all: list = []
+        stage_frag_lists = []
+        for left, right in stage:
+            pre, fl = merge_stage_fragments(left, right)
+            pre_all.extend(pre)
+            stage_frag_lists.append(fl)
+        # the block-2/3 interchange is its own communication phase: the
+        # previous stage's final step already carries the homing traffic,
+        # and stacking two phases onto one would oversubscribe the leaf
+        # injection channels (every leaf would send two columns at once)
+        frags.append(StepFragment(pairs=(), moves=tuple(pre_all)))
+        frags = frags + merge_parallel(*stage_frag_lists)
+    steps = [Step(pairs=f.pairs, moves=f.moves) for f in frags]
+    return Schedule(n=n, steps=steps, name=f"fat_tree(n={n})")
+
+
+class FatTreeOrdering(Ordering):
+    """The paper's fat-tree ordering: local-first communication on a
+    perfect fat-tree, order restored after every sweep."""
+
+    name = "fat_tree"
+
+    def __init__(self, n: int):
+        require_power_of_two(n, "n", minimum=4)
+        super().__init__(n)
+
+    def build_sweep(self, sweep_index: int) -> Schedule:
+        return fat_tree_sweep(self.n)

@@ -1,0 +1,168 @@
+"""The four-block ordering (Section 3.2 of the paper, Figs 4 and 6).
+
+Two building blocks live here:
+
+* the *basic modules* for four indices (Fig 4): three steps generating
+  all six pairs of four indices.  Variant (a) keeps the left index of
+  every pair smaller than the right one and restores the original index
+  order after each sweep (the property the paper exploits for sorted
+  singular values); variant (b) leaves indices 3 and 4 exchanged, so the
+  order only returns after two sweeps — the reason the paper prefers (a).
+
+* the *merge stage* (Section 3.2.2 / 3.3): given two groups whose
+  indices have already met internally, organise them as four interleaved
+  blocks, interchange blocks 2 and 3, run two parallel two-block
+  orderings (super-step 2), interchange blocks 3 and 4, run two more
+  (super-step 3), and send every block home.  Block 3 is rotated twice
+  (its order self-restores); blocks 2 and 4 are rotated once and their
+  halves are un-crossed by the homing moves, so the merged group ends in
+  its original order — the induction step of the paper's Section 3.3
+  proof.
+
+All interchange and homing traffic is fused into the preceding rotation
+step's move phase (a column travels at most once between consecutive
+steps), which is what an implementation on a real fat-tree would do.
+"""
+
+from __future__ import annotations
+
+from ..util.validation import require, require_power_of_two
+from .schedule import Move, Schedule, Step
+from .twoblock import StepFragment, merge_parallel, two_block_fragments
+
+__all__ = [
+    "basic_module_fragments",
+    "basic_module_schedule",
+    "merge_stage_fragments",
+    "four_block_schedule",
+]
+
+
+def _top(leaf: int) -> int:
+    return 2 * leaf
+
+
+def _bottom(leaf: int) -> int:
+    return 2 * leaf + 1
+
+
+def basic_module_fragments(leaf_a: int, leaf_b: int, variant: str = "a") -> list[StepFragment]:
+    """Three-step module combining the four indices on two leaves (Fig 4).
+
+    Variant "a" restores the original order after the module completes;
+    variant "b" leaves the second leaf's columns exchanged (order of the
+    third and fourth index reversed), restoring only after two sweeps.
+    """
+    require(variant in ("a", "b"), f"variant must be 'a' or 'b', got {variant!r}")
+    ta, ba = _top(leaf_a), _bottom(leaf_a)
+    tb, bb = _top(leaf_b), _bottom(leaf_b)
+    pairs_a = ((ta, ba), (tb, bb))
+    # step 1 pairs (1,2)(3,4); interleave: 2 <-> 3
+    step1 = StepFragment(pairs=pairs_a, moves=(Move(ba, tb), Move(tb, ba)))
+    # step 2 pairs (1,3)(2,4); exchange bottoms: 3 <-> 4
+    step2 = StepFragment(pairs=pairs_a, moves=(Move(ba, bb), Move(bb, ba)))
+    if variant == "a":
+        # step 3 pairs (1,4)(2,3); homing 3-cycle restores (1,2)(3,4):
+        # slot contents are (1,4),(2,3) -> 4 goes to bottom_b, 2 comes
+        # back to bottom_a, 3 rises to top_b (local).
+        step3 = StepFragment(
+            pairs=pairs_a,
+            moves=(Move(ba, bb), Move(tb, ba), Move(bb, tb)),
+        )
+    else:
+        # variant (b): cheaper exit (single neighbour exchange) that
+        # leaves leaf_b holding (4,3) - indices 3 and 4 reversed.
+        step3 = StepFragment(
+            pairs=pairs_a,
+            moves=(Move(ba, tb), Move(tb, ba)),
+        )
+    return [step1, step2, step3]
+
+
+def basic_module_schedule(variant: str = "a") -> Schedule:
+    """Standalone Fig 4 module on four columns (leaves 0 and 1)."""
+    frags = basic_module_fragments(0, 1, variant)
+    steps = [Step(pairs=f.pairs, moves=f.moves) for f in frags]
+    return Schedule(n=4, steps=steps, name=f"four_index_module_{variant}")
+
+
+def merge_stage_fragments(
+    left: list[int], right: list[int], homing: bool = True
+) -> tuple[tuple[Move, ...], list[StepFragment]]:
+    """Merge two natural-order groups of ``K`` leaves each (Section 3.3).
+
+    Precondition: every index inside each group has already met every
+    other index of that group (previous stages) and both groups are in
+    natural order.  Returns ``(pre_moves, fragments)``: ``pre_moves`` is
+    the block-2/3 interchange to fuse into the *preceding* step, and the
+    fragments cover super-steps 2 and 3 (``2K`` steps) with all later
+    interchanges and the homing traffic already fused in.
+    """
+    K = len(left)
+    require(len(right) == K, "groups must be the same size")
+    require_power_of_two(K, "group size (leaves)")
+    half = K // 2
+
+    # (i) interchange block2 (left bottoms) <-> block3 (right tops)
+    pre_moves = tuple(
+        m
+        for l, r in zip(left, right)
+        for m in (Move(_bottom(l), _top(r)), Move(_top(r), _bottom(l)))
+    )
+
+    # super-step 2: left pairs block1 x block3 (rotate bottoms = block3),
+    # right pairs block2 x block4 (rotate tops = block2)
+    ss2 = merge_parallel(
+        two_block_fragments(left, rotate="bottom"),
+        two_block_fragments(right, rotate="top"),
+    )
+    # (ii) interchange block3 (left bottoms) <-> block4 (right bottoms)
+    inter34 = tuple(
+        m
+        for l, r in zip(left, right)
+        for m in (Move(_bottom(l), _bottom(r)), Move(_bottom(r), _bottom(l)))
+    )
+    ss2[-1] = ss2[-1].with_extra_moves(inter34)
+
+    # super-step 3: left pairs block1 x block4 (rotate bottoms = block4),
+    # right pairs block2 x block3 (rotate bottoms = block3, its second
+    # rotation - restoring its internal order)
+    ss3 = merge_parallel(
+        two_block_fragments(left, rotate="bottom"),
+        two_block_fragments(right, rotate="bottom"),
+    )
+    # (iii) homing: block2 sits on the right tops with its halves crossed,
+    # block4 on the left bottoms with its halves crossed, block3 on the
+    # right bottoms in natural order.  Send each home, un-crossing 2 & 4.
+    # The Lee-Luk-Boley baseline skips this phase (``homing=False``) and
+    # pays for it with a permuted end-of-sweep layout.
+    if homing:
+        moves: list[Move] = []
+        for i in range(half):
+            moves.append(Move(_top(right[i]), _bottom(left[half + i])))
+            moves.append(Move(_top(right[half + i]), _bottom(left[i])))
+            moves.append(Move(_bottom(left[i]), _bottom(right[half + i])))
+            moves.append(Move(_bottom(left[half + i]), _bottom(right[i])))
+            moves.append(Move(_bottom(right[i]), _top(right[i])))
+            moves.append(Move(_bottom(right[half + i]), _top(right[half + i])))
+        ss3[-1] = ss3[-1].with_extra_moves(tuple(moves))
+    return pre_moves, ss2 + ss3
+
+
+def four_block_schedule(n: int = 8) -> Schedule:
+    """Standalone four-block ordering for ``n`` indices (Fig 6 is n = 8).
+
+    Stage 1 runs the Fig 4(a) module inside each pair of leaves; the
+    merge stage then combines the two groups — giving the full ``n - 1``
+    step ordering of Fig 6 for ``n = 8``.
+    """
+    require_power_of_two(n, "n", minimum=8)
+    require(n == 8, "the standalone four-block ordering is the n=8 figure; "
+                    "larger sizes are produced by the fat-tree merge procedure")
+    stage1 = merge_parallel(
+        basic_module_fragments(0, 1, "a"), basic_module_fragments(2, 3, "a")
+    )
+    pre, stage2 = merge_stage_fragments([0, 1], [2, 3])
+    frags = stage1 + [StepFragment(pairs=(), moves=pre)] + stage2
+    steps = [Step(pairs=f.pairs, moves=f.moves) for f in frags]
+    return Schedule(n=n, steps=steps, name="four_block(n=8)")

@@ -1,0 +1,198 @@
+"""The paper's hybrid ordering (Section 5, Fig 9).
+
+The hybrid combines the fat-tree ordering with the new ring ordering so
+that skinny fat-trees (such as the CM-5 data network) never contend:
+
+* the ``n`` indices are divided into ``g`` groups of consecutive leaves
+  (Schreiber partitioning); each group holds two interleaved *blocks*
+  of ``K = n / (2g)`` indices (tops and bottoms of its leaves);
+* super-step 1 runs a full fat-tree sweep *inside* every group, letting
+  all indices of a group meet (this covers the two resident blocks'
+  intra- and inter-block pairs at once);
+* the remaining ``2g - 2`` super-steps circulate the ``2g`` blocks
+  between groups under the new ring ordering at block granularity:
+  whenever two blocks co-reside they run a two-block ordering (``K``
+  steps), and after every super-step each group sends exactly one block
+  to its ring neighbour — all in one direction, evenly loaded.
+
+Because only one block of ``K`` columns crosses any group boundary per
+super-step, the traffic through the skinny levels of the tree is bounded
+by the block size, which can be chosen against the channel capacity so
+that no channel is ever oversubscribed (the Section 5 contention-freedom
+claim, measured by the machine simulator).
+
+A sweep takes ``(2K - 1) + (2g - 2) K = n - 1`` steps — the optimal
+count — and, like the ring ordering it inherits its movements from, the
+original index order is restored after two consecutive sweeps.  As the
+paper requires, each moving block is rotated by its two-block ordering
+exactly when it is about to be shifted; any block left with its halves
+crossed at the end of the sweep is un-crossed by intra-group homing
+moves fused into the final step.
+"""
+
+from __future__ import annotations
+
+from ..util.validation import require, require_power_of_two
+from .base import Ordering
+from .fattree import fat_tree_sweep
+from .ringnew import ring_realization
+from .schedule import Move, Schedule, Step
+from .twoblock import StepFragment, merge_parallel, two_block_fragments
+
+__all__ = ["HybridOrdering", "hybrid_sweep"]
+
+
+def _shift_schedule_fragments(schedule: Schedule, leaf_offset: int) -> list[StepFragment]:
+    """Re-anchor a standalone schedule's slots at a leaf offset."""
+    d = 2 * leaf_offset
+    out = []
+    for step in schedule.steps:
+        pairs = tuple((a + d, b + d) for a, b in step.pairs)
+        moves = tuple(Move(m.src + d, m.dst + d) for m in step.moves)
+        out.append(StepFragment(pairs=pairs, moves=moves))
+    return out
+
+
+def hybrid_sweep(n: int, n_groups: int) -> Schedule:
+    """One sweep (``n - 1`` steps) of the hybrid ordering.
+
+    ``n_groups`` is the number of leaf groups ``g``; the block size is
+    ``K = n / (2g)`` indices.  ``g`` must be a power of two with at least
+    two groups, and each group needs at least one leaf.
+    """
+    require_power_of_two(n, "n", minimum=8)
+    require_power_of_two(n_groups, "n_groups", minimum=2)
+    g = n_groups
+    require(n % (2 * g) == 0 and n // (2 * g) >= 2,
+            f"need at least two leaves per group: n={n}, groups={g}")
+    K = n // (2 * g)           # indices per block == leaves per group
+    group_leaves = [list(range(gi * K, (gi + 1) * K)) for gi in range(g)]
+
+    def slot(gi: int, leaf_off: int, role: str) -> int:
+        leaf = group_leaves[gi][leaf_off]
+        return 2 * leaf + (0 if role == "top" else 1)
+
+    # block-level ring realization: blocks 1..2g over ring columns 0..g-1
+    assigns, target_col, _direction = ring_realization(2 * g, modified=False)
+    n_super = len(assigns)     # == 2g - 1
+
+    # block id -> (group, role); initially block 2j+1 = tops of group j,
+    # block 2j+2 = bottoms (the natural interleaved layout)
+    place: dict[int, tuple[int, str]] = {}
+    for j in range(g):
+        place[2 * j + 1] = (j, "top")
+        place[2 * j + 2] = (j, "bottom")
+    rotations = {b: 0 for b in place}
+
+    def block_of(gi: int, step_assign: dict[frozenset[int], int]) -> frozenset[int]:
+        for pr, c in step_assign.items():
+            if c == gi:
+                return pr
+        raise AssertionError("every group hosts exactly one block pair")
+
+    def move_blocks(cur: dict[frozenset[int], int], nxt: dict[frozenset[int], int]) -> tuple[Move, ...]:
+        """Column moves realizing the block-level transition (fused later)."""
+        pos_cur = {b: c for pr, c in cur.items() for b in pr}
+        pos_nxt = {b: c for pr, c in nxt.items() for b in pr}
+        movers = [b for b in pos_cur if pos_cur[b] != pos_nxt[b]]
+        freed_role = {pos_cur[b]: place[b][1] for b in movers}
+        moves: list[Move] = []
+        for b in movers:
+            src_g, src_role = place[b]
+            dst_g = pos_nxt[b]
+            dst_role = freed_role[dst_g]
+            for i in range(K):
+                moves.append(Move(slot(src_g, i, src_role), slot(dst_g, i, dst_role)))
+        for b in movers:
+            place[b] = (pos_nxt[b], freed_role[pos_nxt[b]])
+        return tuple(moves)
+
+    # ---- super-step 1: fat-tree ordering inside every group -------------
+    intra = fat_tree_sweep(2 * K) if K >= 2 else None
+    require(intra is not None, "groups must hold at least 4 indices")
+    frags = merge_parallel(
+        *[_shift_schedule_fragments(intra, gl[0]) for gl in group_leaves]
+    )
+
+    def attach(moves: tuple[Move, ...]) -> None:
+        """Fuse a communication phase into the last step when that step has
+        no moves of its own; otherwise emit a stand-alone phase so two
+        phases never stack onto the same injection channels."""
+        if not moves:
+            return
+        if frags[-1].moves:
+            frags.append(StepFragment(pairs=(), moves=moves))
+        else:
+            frags[-1] = frags[-1].with_extra_moves(moves)
+
+    # ---- super-steps 2 .. 2g-1: two-block orderings + ring moves --------
+    for s in range(1, n_super):
+        cur, nxt = assigns[s - 1], assigns[s]
+        # blocks that will move after this coming super-step rotate in it,
+        # so work out movers of the *following* transition first
+        attach(move_blocks(cur, nxt))
+        pos_nxt = {b: c for pr, c in nxt.items() for b in pr}
+        if s + 1 < n_super:
+            pos_after = {b: c for pr, c in assigns[s + 1].items() for b in pr}
+        else:
+            pos_after = {b: target_col[b] for b in pos_nxt}
+        group_frag_lists = []
+        for gi in range(g):
+            pr = block_of(gi, nxt)
+            mover = next((b for b in pr if pos_after[b] != pos_nxt[b]), None)
+            if mover is None:
+                # neither block moves next; rotate the bottom block
+                mover = next(b for b in pr if place[b][1] == "bottom")
+            rotate = place[mover][1]
+            rotations[mover] += 1
+            group_frag_lists.append(two_block_fragments(group_leaves[gi], rotate=rotate))
+        frags = frags + merge_parallel(*group_frag_lists)
+
+    # ---- final phase: each block returns to its ring target column and
+    # home role (odd block ids are tops, even are bottoms), then blocks
+    # with an odd rotation count get their halves un-crossed; each is its
+    # own communication phase
+    homing: list[Move] = []
+    for b in sorted(place):
+        src_g, src_role = place[b]
+        dst_g = target_col[b]
+        dst_role = "top" if b % 2 == 1 else "bottom"
+        if (src_g, src_role) != (dst_g, dst_role):
+            for i in range(K):
+                homing.append(Move(slot(src_g, i, src_role), slot(dst_g, i, dst_role)))
+        place[b] = (dst_g, dst_role)
+    uncross: list[Move] = []
+    half = K // 2
+    for b, (gi, role) in place.items():
+        if rotations[b] % 2 == 1 and half:
+            for i in range(half):
+                uncross.append(Move(slot(gi, i, role), slot(gi, i + half, role)))
+                uncross.append(Move(slot(gi, i + half, role), slot(gi, i, role)))
+    attach(tuple(homing))
+    attach(tuple(uncross))
+
+    steps = [Step(pairs=f.pairs, moves=f.moves) for f in frags]
+    sched = Schedule(n=n, steps=steps, name=f"hybrid(n={n}, groups={g})")
+    sched.notes["n_groups"] = g
+    sched.notes["block_size"] = K
+    sched.notes["superstep_boundaries"] = [2 * K - 1 + i * K for i in range(n_super - 1)]
+    return sched
+
+
+class HybridOrdering(Ordering):
+    """Fat-tree ordering inside groups, ring ordering between groups;
+    the contention-free ordering for skinny fat-trees (CM-5)."""
+
+    name = "hybrid"
+
+    def __init__(self, n: int, n_groups: int | None = None):
+        require_power_of_two(n, "n", minimum=8)
+        if n_groups is None:
+            # default: groups of two leaves (smallest blocks, least traffic
+            # per skinny channel) unless the machine is tiny
+            n_groups = max(2, n // 8)
+        super().__init__(n)
+        self.n_groups = n_groups
+
+    def build_sweep(self, sweep_index: int) -> Schedule:
+        return hybrid_sweep(self.n, self.n_groups)

@@ -1,0 +1,64 @@
+"""The classical odd-even transposition ordering.
+
+This is the canonical nearest-neighbour ordering on a linear array of
+processors, used here as the implementable stand-in for the ring ordering
+of Fig 1(a) (Eberlein-Park); the source text of the paper lost the digits
+of that figure, and the odd-even ordering has the same character the
+paper attributes to it: strictly nearest-neighbour communication that
+spreads evenly over a tree.
+
+Definition (indices live on a line of ``n`` logical positions):
+
+* odd steps pair positions ``(1,2)(3,4)...(n-1,n)``,
+* even steps pair positions ``(2,3)(4,5)...(n-2,n-1)`` (ends idle),
+* after each step the two members of every pair exchange positions
+  (unconditional transposition).
+
+A sweep takes ``n`` steps and generates every index pair exactly once;
+after one sweep the index order is fully reversed, so two consecutive
+sweeps restore the original order.
+
+Slot realisation: logical position ``p`` is slot ``p``; an even step's
+pair ``(2i+1, 2i+2)`` spans two leaves, so its rotation is *remote*
+(one column is fetched from the neighbour and returned), which the cost
+model charges as two level-1 messages — exactly the systolic-array
+behaviour of Brent-Luk type arrays.
+"""
+
+from __future__ import annotations
+
+from ..util.validation import require_even
+from .base import Ordering
+from .schedule import Move, Schedule, Step
+
+__all__ = ["OddEvenOrdering", "odd_even_sweep"]
+
+
+def odd_even_sweep(n: int) -> Schedule:
+    """One sweep (``n`` steps) of the odd-even transposition ordering."""
+    require_even(n)
+    steps: list[Step] = []
+    for t in range(1, n + 1):
+        if t % 2 == 1:
+            pair_starts = range(0, n - 1, 2)
+        else:
+            pair_starts = range(1, n - 2, 2)
+        pairs = tuple((p, p + 1) for p in pair_starts)
+        moves = tuple(
+            m for p in pair_starts for m in (Move(p, p + 1), Move(p + 1, p))
+        )
+        steps.append(Step(pairs=pairs, moves=moves))
+    return Schedule(n=n, steps=steps, name=f"odd_even(n={n})")
+
+
+class OddEvenOrdering(Ordering):
+    """Odd-even transposition ordering; order reversed per sweep (period 2)."""
+
+    name = "odd_even"
+
+    def __init__(self, n: int):
+        require_even(n)
+        super().__init__(n)
+
+    def build_sweep(self, sweep_index: int) -> Schedule:
+        return odd_even_sweep(self.n)

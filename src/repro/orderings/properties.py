@@ -1,0 +1,227 @@
+"""Machine-checkable properties of parallel Jacobi orderings.
+
+The paper states its results as prose invariants ("every column meets
+every other exactly once per sweep", "the original order of the indices
+is maintained after the completion of each sweep", "the messages travel
+between processors in only one direction", Definition 1's equivalence
+under relabelling).  This module turns each of those statements into a
+predicate used by both the test-suite and the experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from collections.abc import Sequence
+
+from ..util.bits import leaf_of_slot
+from .base import Ordering
+from .schedule import Schedule
+
+__all__ = [
+    "ValidityReport",
+    "check_all_pairs_once",
+    "check_local_pairs",
+    "check_one_directional",
+    "sweep_message_counts",
+    "relabelling_equivalent",
+    "find_relabelling",
+    "meeting_gap_profile",
+]
+
+
+@dataclass(frozen=True)
+class ValidityReport:
+    """Result of the all-pairs-once check."""
+
+    is_valid: bool
+    n_pairs_expected: int
+    n_pairs_seen: int
+    duplicates: tuple[frozenset[int], ...]
+    missing: tuple[frozenset[int], ...]
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.is_valid
+
+
+def check_all_pairs_once(schedule: Schedule, layout: Sequence[int] | None = None) -> ValidityReport:
+    """Verify the defining Jacobi-sweep property: each unordered index
+    pair is rotated exactly once during the sweep."""
+    n = schedule.n
+    seen: dict[frozenset[int], int] = {}
+    for pairs in schedule.index_pairs(layout):
+        for a, b in pairs:
+            key = frozenset((a, b))
+            seen[key] = seen.get(key, 0) + 1
+    universe = {frozenset(c) for c in combinations(range(1, n + 1), 2)}
+    if layout is not None:
+        universe = {frozenset(c) for c in combinations(sorted(set(layout)), 2)}
+    duplicates = tuple(sorted((k for k, v in seen.items() if v > 1), key=sorted))
+    missing = tuple(sorted((k for k in universe if k not in seen), key=sorted))
+    extras = set(seen) - universe
+    is_valid = not duplicates and not missing and not extras
+    return ValidityReport(
+        is_valid=is_valid,
+        n_pairs_expected=len(universe),
+        n_pairs_seen=sum(seen.values()),
+        duplicates=duplicates,
+        missing=missing,
+    )
+
+
+def check_local_pairs(schedule: Schedule) -> bool:
+    """True iff every rotation pairs two slots of the same leaf.
+
+    This is the property the paper's tree orderings are designed for:
+    all arithmetic is local; only the column moves communicate.
+    """
+    return all(not step.remote_pairs for step in schedule.steps)
+
+
+def check_one_directional(schedule: Schedule, ring_size: int | None = None) -> bool:
+    """True iff every inter-leaf move advances exactly one ring position
+    and *all* moves of the sweep share the same direction.
+
+    This is the headline feature of the paper's new ring ordering (Section
+    4): messages travel between processors in only one direction
+    throughout the computation.  Which of the two ring orientations is
+    used is a naming convention, so either is accepted — as long as it is
+    consistent across the whole sweep.
+    """
+    P = ring_size if ring_size is not None else schedule.n // 2
+    direction: int | None = None
+    for _, move in schedule.all_moves():
+        src, dst = leaf_of_slot(move.src), leaf_of_slot(move.dst)
+        if src == dst:
+            continue
+        delta = (dst - src) % P
+        if delta not in (1, P - 1):
+            return False
+        if direction is None:
+            direction = delta
+        elif delta != direction:
+            return False
+    return True
+
+
+def sweep_message_counts(schedule: Schedule) -> dict[int, int]:
+    """Messages sent per step (step number -> count of inter-leaf moves)."""
+    counts: dict[int, int] = {}
+    for k, step in enumerate(schedule.steps, start=1):
+        counts[k] = sum(1 for m in step.moves if not m.is_local)
+    return counts
+
+
+def relabelling_equivalent(
+    schedule_a: Schedule,
+    schedule_b: Schedule,
+    relabelling: dict[int, int],
+) -> bool:
+    """Check Definition 1 of the paper: ``schedule_a`` relabelled by the
+    given index mapping generates the same pair sets, step for step, as
+    ``schedule_b``.
+    """
+    if schedule_a.n != schedule_b.n or schedule_a.n_steps != schedule_b.n_steps:
+        return False
+    pa = schedule_a.index_pairs()
+    pb = schedule_b.index_pairs()
+    for step_a, step_b in zip(pa, pb):
+        relabelled = {frozenset((relabelling[a], relabelling[b])) for a, b in step_a}
+        target = {frozenset(p) for p in step_b}
+        if relabelled != target:
+            return False
+    return True
+
+
+def find_relabelling(schedule_a: Schedule, schedule_b: Schedule) -> dict[int, int] | None:
+    """Search for a relabelling proving equivalence (small ``n`` only).
+
+    Backtracking over index assignments constrained by the per-step pair
+    structure; feasible up to n ~ 16, which covers the figures.
+    """
+    if schedule_a.n != schedule_b.n or schedule_a.n_steps != schedule_b.n_steps:
+        return None
+    n = schedule_a.n
+    pa = schedule_a.index_pairs()
+    pb = schedule_b.index_pairs()
+
+    # partner sequence of each index: who it meets at each step
+    def partner_table(pair_lists: list[list[tuple[int, int]]]) -> dict[int, list[int]]:
+        table: dict[int, list[int]] = {i: [] for i in range(1, n + 1)}
+        for pairs in pair_lists:
+            for a, b in pairs:
+                table[a].append(b)
+                table[b].append(a)
+        return table
+
+    ta, tb = partner_table(pa), partner_table(pb)
+    mapping: dict[int, int] = {}
+    used: set[int] = set()
+
+    def consistent(x: int, y: int) -> bool:
+        # x's partner at step s must map to y's partner at step s when known
+        for s in range(len(pa)):
+            px, py = ta[x][s], tb[y][s]
+            if px in mapping and mapping[px] != py:
+                return False
+            mx = {v: k for k, v in mapping.items()}
+            if py in mx and mx[py] != px:
+                return False
+        return True
+
+    order = sorted(range(1, n + 1))
+
+    def bt(k: int) -> bool:
+        if k == len(order):
+            return True
+        x = order[k]
+        for y in range(1, n + 1):
+            if y in used or not consistent(x, y):
+                continue
+            mapping[x] = y
+            used.add(y)
+            if bt(k + 1):
+                return True
+            del mapping[x]
+            used.discard(y)
+        return False
+
+    if bt(0) and relabelling_equivalent(schedule_a, schedule_b, mapping):
+        return dict(mapping)
+    return None
+
+
+def meeting_gap_profile(ordering: Ordering, n_sweeps: int = 3) -> dict[str, float]:
+    """Distribution of the gap (in steps) between consecutive rotations of
+    the same index pair across sweeps.
+
+    The paper's first criticism of the Lee-Luk-Boley ordering is that with
+    alternating forward/backward sweeps "the number of rotations between
+    any fixed pair (i, j) is variable rather than constant", which can
+    slow convergence.  A sweep-invariant ordering has every gap equal to
+    the sweep length; forward/backward alternation spreads the gaps out.
+    """
+    last_seen: dict[frozenset[int], int] = {}
+    gaps: list[int] = []
+    t = 0
+    layout = list(range(1, ordering.n + 1))
+    for s in range(n_sweeps):
+        sched = ordering.sweep(s)
+        for _, pairs, state in sched.trace(layout):
+            if pairs:
+                t += 1
+            for a, b in pairs:
+                key = frozenset((a, b))
+                if key in last_seen:
+                    gaps.append(t - last_seen[key])
+                last_seen[key] = t
+            layout = state
+    if not gaps:
+        return {"min": 0.0, "max": 0.0, "mean": 0.0, "spread": 0.0}
+    mean = sum(gaps) / len(gaps)
+    return {
+        "min": float(min(gaps)),
+        "max": float(max(gaps)),
+        "mean": mean,
+        "spread": float(max(gaps) - min(gaps)),
+    }

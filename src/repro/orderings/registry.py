@@ -1,0 +1,54 @@
+"""Name-based ordering registry used by the public API and the harness."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from .base import Ordering
+from .fattree import FatTreeOrdering
+from .hybrid import HybridOrdering
+from .llb import LLBOrdering
+from .oddeven import OddEvenOrdering
+from .ringnew import RingOrdering
+from .roundrobin import RoundRobinOrdering
+
+__all__ = ["ORDERINGS", "make_ordering", "ordering_names"]
+
+
+def _ring(n: int, **kw: object) -> Ordering:
+    return RingOrdering(n, modified=False)
+
+
+def _ring_modified(n: int, **kw: object) -> Ordering:
+    return RingOrdering(n, modified=True)
+
+
+ORDERINGS: dict[str, Callable[..., Ordering]] = {
+    "round_robin": lambda n, **kw: RoundRobinOrdering(n),
+    "odd_even": lambda n, **kw: OddEvenOrdering(n),
+    "ring_new": _ring,
+    "ring_modified": _ring_modified,
+    "fat_tree": lambda n, **kw: FatTreeOrdering(n),
+    "llb": lambda n, **kw: LLBOrdering(n, **kw),
+    "hybrid": lambda n, **kw: HybridOrdering(n, **kw),
+}
+
+
+def ordering_names() -> list[str]:
+    """All registered ordering names."""
+    return sorted(ORDERINGS)
+
+
+def make_ordering(name: str, n: int, **kwargs: object) -> Ordering:
+    """Instantiate an ordering by name for ``n`` columns.
+
+    ``kwargs`` are forwarded to the ordering constructor (e.g.
+    ``n_groups`` for ``hybrid``, ``skip_duplicate`` for ``llb``).
+    """
+    try:
+        factory = ORDERINGS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown ordering {name!r}; available: {', '.join(ordering_names())}"
+        ) from None
+    return factory(n, **kwargs)

@@ -1,0 +1,437 @@
+"""The paper's new ring ordering (Section 4, Figs 7-8).
+
+Construction
+------------
+Section 4 *defines* the new ring ordering through its equivalence with
+the Brent-Luk round-robin ordering: permute the round-robin's initial
+positions (swap the two indices of each left-half pair except the
+leftmost, then fold the two halves together so the pairs interleave) and
+run the round-robin procedure on the relabelled indices; the generated
+pair sets are, step for step, those of the ring ordering.  We take that
+recipe literally: the *pair schedule* is a folded/relabelled round-robin,
+which makes the ordering valid (all pairs exactly once in ``n - 1``
+steps) and round-robin-equivalent by construction.
+
+The distinguishing physical feature is the realization: every processor
+sends exactly one column to its ring neighbour after every step, and all
+messages travel in the *same direction* throughout the computation.  The
+realization is computed by a deterministic constraint solver
+(:func:`realize_one_directional`): at each step the new position of a
+pair is confined to the union of its two members' previous positions
+shifted by at most one ring position, which leaves at most two candidate
+columns per pair; a matching with bounded backtracking resolves the rare
+ambiguities.  The end-of-sweep layout is pinned so that:
+
+* plain ordering (Fig 7(a)): the pair (1, 2) keeps its column, the
+  remaining pair columns come back in reversed order — so two
+  consecutive sweeps restore the original order (the paper's statement);
+* modified ordering (Fig 8(a)): *all* pair columns are reversed, so the
+  singular values emerge nonincreasing after an even number of sweeps
+  and nondecreasing after an odd number (the paper's statement).
+
+The OCR of the source text lost the digits of Figs 7-8, so the exact
+typographic layout of the original figures cannot be transcribed; every
+prose invariant of Section 4 is verified by the test-suite instead.
+"""
+
+from __future__ import annotations
+
+from itertools import zip_longest
+
+from ..util.validation import require, require_even
+from .base import Ordering
+from .schedule import Move, Schedule, Step
+
+__all__ = [
+    "RingOrdering",
+    "folded_layout",
+    "ring_pair_schedule",
+    "realize_one_directional",
+    "ring_realization",
+    "ring_sweep",
+    "round_robin_relabelling",
+]
+
+
+def folded_layout(n: int, modified: bool) -> list[tuple[int, int]]:
+    """The Section-4 fold of the natural pair layout.
+
+    Split the pairs ``(1,2)(3,4)...`` into halves, swap the members of
+    every left-half pair except the leftmost, then interleave the halves
+    (right half reversed).  The plain and modified orderings use the two
+    interleaving phases.
+    """
+    require_even(n)
+    m = n // 2
+    pairs = [(2 * i + 1, 2 * i + 2) for i in range(m)]
+    half = m // 2
+    left = [pairs[0]] + [(b, a) for a, b in pairs[1:half]]
+    right = pairs[half:]
+    right_rev = list(reversed(right))
+    first, second = (left, right_rev) if modified else (right_rev, left)
+    woven = [p for pr in zip_longest(first, second) for p in pr if p is not None]
+    return woven
+
+
+def ring_pair_schedule(n: int, modified: bool) -> list[list[frozenset[int]]]:
+    """Pair sets per step: round-robin run from the folded layout.
+
+    For the plain ordering the indices are additionally relabelled by
+    ``i -> n + 1 - i`` and the columns mirrored, which pins the pair
+    (1, 2) instead of (n-1, n); the two presentations are identical up to
+    naming (the paper's Definition 1 equivalence).
+    """
+    layout = folded_layout(n, modified)
+    top = [p[0] for p in layout]
+    bot = [p[1] for p in layout]
+    m = n // 2
+    out: list[list[frozenset[int]]] = []
+    for _ in range(n - 1):
+        out.append([frozenset((a, b)) for a, b in zip(top, bot)])
+        if m > 1:
+            new_top = [top[0], bot[0]] + top[1:-1]
+            new_bot = bot[1:] + [top[-1]]
+            top, bot = new_top, new_bot
+    if not modified:
+        rho = {i: n + 1 - i for i in range(1, n + 1)}
+        out = [[frozenset(rho[x] for x in p) for p in reversed(step)] for step in out]
+    return out
+
+
+def round_robin_relabelling(n: int, modified: bool) -> dict[int, int]:
+    """The relabelling mapping ring-ordering indices to round-robin indices.
+
+    ``relabelling[i] = j`` means index ``i`` of the ring ordering plays
+    the role of index ``j`` of the round-robin ordering (Fig 1(b));
+    applying it to the ring schedule reproduces the round-robin pair sets
+    step for step (Definition 1).
+    """
+    layout = folded_layout(n, modified)
+    flat: list[int] = []
+    for a, b in layout:
+        flat.extend((a, b))
+    natural: list[int] = []
+    for i in range(n // 2):
+        natural.extend((2 * i + 1, 2 * i + 2))
+    mapping = {f: g for f, g in zip(flat, natural)}
+    if not modified:
+        rho = {i: n + 1 - i for i in range(1, n + 1)}
+        mapping = {rho[f]: g for f, g in mapping.items()}
+    return mapping
+
+
+def _matchings(items: list[tuple[frozenset[int], list[int]]], m: int):
+    """Yield perfect matchings pair -> column; each pair has <= 2 options.
+
+    Iterative DFS (explicit stack) so that deep schedules cannot overflow
+    the interpreter stack.
+    """
+    order = sorted(items, key=lambda t: (len(t[1]), min(t[1])))
+    k = len(order)
+    used = [False] * m
+    choice = [0] * k
+    assign: list[int | None] = [None] * k
+    depth = 0
+    while True:
+        if depth == k:
+            yield {order[i][0]: assign[i] for i in range(k)}
+            depth -= 1
+            if depth < 0:
+                return
+            used[assign[depth]] = False
+            assign[depth] = None
+            choice[depth] += 1
+            continue
+        opts = order[depth][1]
+        advanced = False
+        while choice[depth] < len(opts):
+            col = opts[choice[depth]]
+            if not used[col]:
+                used[col] = True
+                assign[depth] = col
+                depth += 1
+                if depth < k:
+                    choice[depth] = 0
+                advanced = True
+                break
+            choice[depth] += 1
+        if advanced:
+            if depth == k:
+                continue
+            choice[depth] = 0
+            continue
+        # exhausted this depth
+        choice[depth] = 0
+        depth -= 1
+        if depth < 0:
+            return
+        used[assign[depth]] = False
+        assign[depth] = None
+        choice[depth] += 1
+
+
+def realize_one_directional(
+    pair_schedule: list[list[frozenset[int]]],
+    n: int,
+    target_col: dict[int, int],
+    direction: int = 1,
+    budget: int = 5_000_000,
+) -> list[dict[frozenset[int], int]] | None:
+    """Assign each step's pairs to ring columns with one-directional moves.
+
+    An index may stay on its column or advance ``direction`` (+1 or -1)
+    ring positions between steps; after the last step a final move phase
+    must be able to bring every index to ``target_col`` under the same
+    rule.  Returns one column assignment per step (step 1 included), or
+    ``None`` if the budget is exhausted.
+    """
+    m = n // 2
+    require(direction in (+1, -1), "direction must be +1 or -1")
+    init_pairs = [frozenset((2 * i + 1, 2 * i + 2)) for i in range(m)]
+    first = sorted(map(sorted, pair_schedule[0]))
+    require(first == sorted(map(sorted, init_pairs)),
+            "schedule's first step must pair the natural layout")
+    pos0 = {x: c for c, p in enumerate(init_pairs) for x in p}
+    nodes = [budget]
+
+    n_steps = len(pair_schedule)
+    # iterative backtracking over steps; per-step matchings come from _matchings
+    gens: list = [None] * (n_steps + 1)
+    assigns: list[dict[frozenset[int], int] | None] = [None] * (n_steps + 1)
+    positions: list[dict[int, int]] = [dict(pos0)] + [dict() for _ in range(n_steps)]
+    assigns[0] = {p: c for c, p in enumerate(init_pairs)}
+
+    def options(step: int) -> list[tuple[frozenset[int], list[int]]] | None:
+        pos = positions[step - 1]
+        items = []
+        for pr in pair_schedule[step]:
+            x, y = tuple(pr)
+            a, b = pos[x], pos[y]
+            cand = sorted({a, (a + direction) % m} & {b, (b + direction) % m})
+            if not cand:
+                return None
+            items.append((pr, cand))
+        return items
+
+    s = 1
+    while True:
+        if s > n_steps - 1:
+            # final phase feasibility: every index within one move of target
+            ok = all(
+                (direction * (target_col[x] - c)) % m <= 1
+                for x, c in positions[n_steps - 1].items()
+            )
+            if ok:
+                return [dict(a) for a in assigns[:n_steps]]
+            s -= 1
+            if s < 1:
+                return None
+            continue
+        if gens[s] is None:
+            items = options(s)
+            gens[s] = iter(()) if items is None else _matchings(items, m)
+        nxt = next(gens[s], None)
+        nodes[0] -= 1
+        if nodes[0] <= 0:
+            return None
+        if nxt is None:
+            gens[s] = None
+            s -= 1
+            if s < 1:
+                return None
+            continue
+        assigns[s] = nxt
+        positions[s] = {x: c for pr, c in nxt.items() for x in pr}
+        s += 1
+        if s <= n_steps - 1:
+            gens[s] = None
+
+
+def _mirror_conjugate(
+    assigns: list[dict[frozenset[int], int]], n: int
+) -> list[dict[frozenset[int], int]]:
+    """Conjugate a rightward realization by the column mirror and the
+    relabelling ``i -> n + 1 - i``; rightward (+1) moves become leftward
+    (-1), which is the presentation with pair (1, 2) pinned at column 0."""
+    m = n // 2
+    rho = {i: n + 1 - i for i in range(1, n + 1)}
+    out = []
+    for a in assigns:
+        out.append({frozenset(rho[x] for x in pr): (m - 1 - c) for pr, c in a.items()})
+    return out
+
+
+def _sweep_from_assignments(
+    n: int,
+    assigns: list[dict[frozenset[int], int]],
+    target_col: dict[int, int],
+    direction: int,
+    name: str,
+) -> Schedule:
+    """Turn per-step column assignments into a slot-level :class:`Schedule`.
+
+    Slot convention: each column keeps its resident index in place; an
+    arriving index lands in the slot the departing index freed.  Within a
+    column, the pair orientation (left slot first) lists the slot indices
+    in ascending order; the SVD layer decides norm placement, so slot
+    order here only fixes the figure presentation.
+    """
+    m = n // 2
+    steps: list[Step] = []
+    # slot_of maps index -> physical slot, maintained across steps
+    slot_of: dict[int, int] = {}
+    for pr, c in assigns[0].items():
+        a, b = sorted(pr)
+        slot_of[a] = 2 * c
+        slot_of[b] = 2 * c + 1
+
+    def step_pairs(assign: dict[frozenset[int], int]) -> tuple[tuple[int, int], ...]:
+        pairs = []
+        for pr in assign:
+            a, b = sorted(pr)
+            sa, sb = slot_of[a], slot_of[b]
+            pairs.append((min(sa, sb), max(sa, sb)))
+        return tuple(sorted(pairs))
+
+    prev = assigns[0]
+    for nxt in assigns[1:]:
+        pairs = step_pairs(prev)
+        moves, slot_of = _moves_between(prev, nxt, slot_of, m)
+        steps.append(Step(pairs=pairs, moves=tuple(moves)))
+        prev = nxt
+    # last rotation step + final move phase: send every index straight to
+    # its home slot (smaller pair member on the even slot), one composite
+    # permutation so the step stays a single communication phase
+    pairs = step_pairs(prev)
+    final_slot: dict[int, int] = {}
+    for x, c in target_col.items():
+        # x's home partner is the other member of its natural pair; the
+        # smaller index takes the even (left) slot of the target column
+        final_slot[x] = 2 * c + (0 if x % 2 == 1 else 1)
+    require(sorted(final_slot.values()) == list(range(n)),
+            "final slots must form a permutation")
+    moves = [Move(slot_of[x], final_slot[x])
+             for x in final_slot if slot_of[x] != final_slot[x]]
+    steps.append(Step(pairs=pairs, moves=tuple(moves)))
+    return Schedule(n=n, steps=steps, name=name)
+
+
+def _moves_between(
+    prev: dict[frozenset[int], int],
+    nxt: dict[frozenset[int], int],
+    slot_of: dict[int, int],
+    m: int,
+) -> tuple[list[Move], dict[int, int]]:
+    """Column moves realizing the transition between two assignments."""
+    pos_prev = {x: c for pr, c in prev.items() for x in pr}
+    pos_next = {x: c for pr, c in nxt.items() for x in pr}
+    movers = [x for x in pos_prev if pos_prev[x] != pos_next[x]]
+    stayers = [x for x in pos_prev if pos_prev[x] == pos_next[x]]
+    new_slot = dict(slot_of)
+    freed: dict[int, int] = {}  # column -> slot freed by its departing index
+    for x in movers:
+        freed[pos_prev[x]] = slot_of[x]
+    moves: list[Move] = []
+    for x in movers:
+        dst_col = pos_next[x]
+        dst_slot = freed.get(dst_col)
+        if dst_slot is None:
+            # destination column lost no index; must not happen when each
+            # column sends exactly one, but guard for partial move phases
+            occupied = {new_slot[y] for y in stayers + movers if pos_next[y] == dst_col and y != x}
+            cand = [2 * dst_col, 2 * dst_col + 1]
+            dst_slot = next(s for s in cand if s not in occupied)
+        moves.append(Move(slot_of[x], dst_slot))
+        new_slot[x] = dst_slot
+    return moves, new_slot
+
+
+def ring_realization(
+    n: int, modified: bool = False
+) -> tuple[list[dict[frozenset[int], int]], dict[int, int], int]:
+    """Solved ring realization: ``(assignments, target_col, direction)``.
+
+    ``assignments[k]`` maps each step-``k`` pair (a frozenset of two
+    indices) to its ring column; ``target_col`` gives each index's
+    end-of-sweep column, and ``direction`` (+1/-1) is the single ring
+    direction every message travels in.  The hybrid ordering reuses this
+    at *block* granularity (indices = blocks, columns = leaf groups).
+    """
+    require_even(n)
+    m = n // 2
+    if modified:
+        sched = ring_pair_schedule(n, modified=True)
+        target = {x: (m - 1 - (x - 1) // 2) for x in range(1, n + 1)}
+        assigns = realize_one_directional(sched, n, target, direction=+1)
+        require(assigns is not None, f"no one-directional realization for n={n}")
+        return assigns, target, +1
+    raw = _raw_plain_schedule(n)
+    target = _raw_plain_target(n)
+    assigns = realize_one_directional(raw, n, target, direction=+1)
+    require(assigns is not None, f"no one-directional realization for n={n}")
+    assigns = _mirror_conjugate(assigns, n)
+    target = {n + 1 - x: (m - 1 - c) for x, c in target.items()}
+    return assigns, target, -1
+
+
+def ring_sweep(n: int, modified: bool = False) -> Schedule:
+    """One sweep of the (plain or modified) new ring ordering."""
+    require_even(n)
+    m = n // 2
+    if m == 1:
+        return Schedule(n=n, steps=[Step(pairs=((0, 1),))],
+                        name=f"ring_{'modified' if modified else 'new'}(n={n})")
+    assigns, target, direction = ring_realization(n, modified)
+    name = f"ring_{'modified' if modified else 'new'}(n={n})"
+    schedule = _sweep_from_assignments(n, assigns, target, direction, name)
+    schedule.notes["direction"] = direction
+    schedule.notes["modified"] = modified
+    return schedule
+
+
+def _raw_plain_schedule(n: int) -> list[list[frozenset[int]]]:
+    """Unrelabelled pair schedule of the plain ring ordering (pins the
+    *last* pair); the public presentation conjugates it to pin (1, 2)."""
+    layout = folded_layout(n, modified=False)
+    top = [p[0] for p in layout]
+    bot = [p[1] for p in layout]
+    out: list[list[frozenset[int]]] = []
+    for _ in range(n - 1):
+        out.append([frozenset((a, b)) for a, b in zip(top, bot)])
+        new_top = [top[0], bot[0]] + top[1:-1]
+        new_bot = bot[1:] + [top[-1]]
+        top, bot = new_top, new_bot
+    return out
+
+
+def _raw_plain_target(n: int) -> dict[int, int]:
+    """End-of-sweep columns in the unrelabelled space: pair column ``m-1``
+    (the pair (n-1, n)) is pinned, columns ``0..m-2`` reverse."""
+    m = n // 2
+    tau = {m - 1: m - 1}
+    tau.update({j: (m - 2 - j) for j in range(m - 1)})
+    return {x: tau[(x - 1) // 2] for x in range(1, n + 1)}
+
+
+class RingOrdering(Ordering):
+    """The paper's new ring ordering (``modified=True`` for Fig 8(a)).
+
+    One message per processor per step, all in one ring direction; order
+    restored after two consecutive sweeps.
+    """
+
+    name = "ring_new"
+
+    def __init__(self, n: int, modified: bool = False):
+        require_even(n)
+        super().__init__(n)
+        self.modified = modified
+        if modified:
+            self.name = "ring_modified"
+
+    def build_sweep(self, sweep_index: int) -> Schedule:
+        return ring_sweep(self.n, modified=self.modified)
+
+    def relabelling_to_round_robin(self) -> dict[int, int]:
+        """Explicit Definition-1 relabelling onto the round-robin ordering."""
+        return round_robin_relabelling(self.n, self.modified)

@@ -1,0 +1,68 @@
+"""The Brent-Luk round-robin ordering (Fig 1(b) of the paper).
+
+The classical *circle method*: picture the ``n`` indices in two rows of a
+``2 x (n/2)`` array; the index in the top-left corner is pinned and all
+other indices rotate one position around the ring formed by the remaining
+slots.  Each column of the array is an index pair, so each of the
+``n - 1`` steps performs ``n/2`` disjoint rotations, and after ``n - 1``
+steps every index is back in its home slot (the moving ring has exactly
+``n - 1`` positions).
+
+In slot terms (leaf ``i`` owns slots ``2i`` = top, ``2i + 1`` = bottom)
+one step moves::
+
+    bottom_0 -> top_1 -> top_2 -> ... -> top_{m-1}
+             -> bottom_{m-1} -> ... -> bottom_1 -> bottom_0
+
+which on a linear array is one send to each neighbour per processor —
+the two-way nearest-neighbour traffic the paper contrasts with its
+one-directional ring ordering.
+"""
+
+from __future__ import annotations
+
+from ..util.validation import require_even
+from .base import Ordering
+from .schedule import Move, Schedule, Step
+
+__all__ = ["RoundRobinOrdering", "round_robin_sweep"]
+
+
+def _circle_moves(m: int) -> tuple[Move, ...]:
+    """Moves of one circle-method step for ``m`` leaves (slot indices)."""
+    moves: list[Move] = []
+    # bottom_0 -> top_1
+    moves.append(Move(src=1, dst=2))
+    # top_i -> top_{i+1} for i = 1 .. m-2
+    for i in range(1, m - 1):
+        moves.append(Move(src=2 * i, dst=2 * (i + 1)))
+    # top_{m-1} -> bottom_{m-1}
+    moves.append(Move(src=2 * (m - 1), dst=2 * (m - 1) + 1))
+    # bottom_{i} -> bottom_{i-1} for i = m-1 .. 1  (the src list above
+    # already used top slots only, so no clashes)
+    for i in range(m - 1, 0, -1):
+        moves.append(Move(src=2 * i + 1, dst=2 * i - 1))
+    return tuple(moves)
+
+
+def round_robin_sweep(n: int) -> Schedule:
+    """One sweep (``n - 1`` steps) of the round-robin ordering."""
+    require_even(n)
+    m = n // 2
+    pairs = tuple((2 * i, 2 * i + 1) for i in range(m))
+    moves = _circle_moves(m) if m > 1 else ()
+    steps = [Step(pairs=pairs, moves=moves) for _ in range(n - 1)]
+    return Schedule(n=n, steps=steps, name=f"round_robin(n={n})")
+
+
+class RoundRobinOrdering(Ordering):
+    """Brent-Luk round-robin ordering; layout restored after every sweep."""
+
+    name = "round_robin"
+
+    def __init__(self, n: int):
+        require_even(n)
+        super().__init__(n)
+
+    def build_sweep(self, sweep_index: int) -> Schedule:
+        return round_robin_sweep(self.n)

@@ -1,0 +1,92 @@
+"""Render orderings in the paper's own figure form.
+
+Figures 1, 7 and 8 of the paper draw an ordering as a ``2 x (n/2)``
+array per step — the two indices in one column form an index pair — with
+arrows showing where indices move between steps.  This module recreates
+that presentation in text: per-step grids, per-step movement arrows
+(``leaf i -> leaf j`` with the crossed tree level), and a per-index
+trajectory table (which leaf an index occupies at every step), which is
+the cleanest way to *see* the one-directional flow of the ring ordering.
+"""
+
+from __future__ import annotations
+
+from ..util.bits import leaf_of_slot
+from .schedule import Schedule
+
+__all__ = ["render_grid_steps", "render_movements", "trajectory_table"]
+
+
+def render_grid_steps(schedule: Schedule, max_steps: int | None = None) -> str:
+    """The Fig 1/7/8 presentation: one two-row grid per step.
+
+    The top row holds the contents of the even slots, the bottom row the
+    odd slots; each column is one leaf processor (= one index pair).
+    """
+    n = schedule.n
+    m = n // 2
+    width = len(str(n)) + 1
+    lines: list[str] = []
+    count = 0
+    state = list(range(1, n + 1))
+    for k, pairs, after in schedule.trace():
+        if max_steps is not None and count >= max_steps:
+            break
+        if pairs:
+            count += 1
+            top = "".join(f"{state[2 * i]:>{width}}" for i in range(m))
+            bot = "".join(f"{state[2 * i + 1]:>{width}}" for i in range(m))
+            lines.append(f"step {count}:")
+            lines.append(f"   {top}")
+            lines.append(f"   {bot}")
+        state = after
+    return "\n".join(lines)
+
+
+def render_movements(schedule: Schedule, max_steps: int | None = None) -> str:
+    """The figure's arrows: per step, which index moves to which leaf.
+
+    Intra-leaf slot swaps are omitted (they are free); each line shows
+    ``index: leaf a -> leaf b (level r)``.
+    """
+    lines: list[str] = []
+    state = list(range(1, schedule.n + 1))
+    count = 0
+    for _, pairs, after in schedule.trace():
+        moved = []
+        pos_before = {idx: leaf_of_slot(s) for s, idx in enumerate(state)}
+        pos_after = {idx: leaf_of_slot(s) for s, idx in enumerate(after)}
+        for idx in sorted(pos_before):
+            a, b = pos_before[idx], pos_after[idx]
+            if a != b:
+                level = (a ^ b).bit_length()
+                moved.append(f"{idx}: P{a}->P{b} (level {level})")
+        if pairs:
+            count += 1
+            label = f"after step {count}"
+        else:
+            label = "communication phase"
+        if moved:
+            lines.append(f"{label}: " + ", ".join(moved))
+        if max_steps is not None and count >= max_steps:
+            break
+        state = after
+    return "\n".join(lines)
+
+
+def trajectory_table(schedule: Schedule) -> dict[int, list[int]]:
+    """Leaf occupied by every index at each rotation step.
+
+    ``table[index]`` lists the leaf of ``index`` at steps 1..T; constant
+    rows are stationary indices (e.g. index 1 in the ring ordering), and
+    in a one-directional ordering every row is non-decreasing modulo the
+    ring size.
+    """
+    table: dict[int, list[int]] = {i: [] for i in range(1, schedule.n + 1)}
+    state = list(range(1, schedule.n + 1))
+    for _, pairs, after in schedule.trace():
+        if pairs:
+            for slot, idx in enumerate(state):
+                table[idx].append(leaf_of_slot(slot))
+        state = after
+    return table

@@ -1,0 +1,18 @@
+"""Distributed SVD driver over the simulated tree machine."""
+
+from .distribution import (
+    leaf_layout,
+    next_admissible_width,
+    pad_columns,
+    strip_padding,
+)
+from .driver import ParallelJacobiSVD, ParallelRunReport
+
+__all__ = [
+    "ParallelJacobiSVD",
+    "ParallelRunReport",
+    "leaf_layout",
+    "next_admissible_width",
+    "pad_columns",
+    "strip_padding",
+]

@@ -1,0 +1,60 @@
+"""Column distribution helpers for the parallel driver.
+
+The paper assumes ``n`` a power of two (tree orderings) with two columns
+per leaf; real matrices rarely oblige, so :func:`pad_columns` widens a
+matrix with zero columns to the next admissible width.  Zero columns are
+fixed points of the Hestenes iteration (every rotation against a zero
+column is the identity), so padding does not perturb the nonzero part of
+the spectrum; the padded result is stripped by :func:`strip_padding`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.result import SVDResult
+
+__all__ = ["next_admissible_width", "pad_columns", "strip_padding", "leaf_layout"]
+
+
+def next_admissible_width(n: int, power_of_two: bool = True) -> int:
+    """Smallest admissible column count >= n (power of two, or even)."""
+    if power_of_two:
+        w = 4
+        while w < n:
+            w *= 2
+        return w
+    return n if n % 2 == 0 else n + 1
+
+
+def pad_columns(a: np.ndarray, power_of_two: bool = True) -> tuple[np.ndarray, int]:
+    """Zero-pad ``a`` to an admissible width; returns (padded, original_n)."""
+    a = np.asarray(a, dtype=np.float64)
+    n = a.shape[1]
+    w = next_admissible_width(n, power_of_two)
+    if w == n:
+        return a.copy(), n
+    out = np.zeros((a.shape[0], w))
+    out[:, :n] = a
+    return out, n
+
+
+def strip_padding(result: SVDResult, original_n: int) -> SVDResult:
+    """Remove the zero-padding columns from a padded result.
+
+    The padding columns carry exactly zero singular values, and the
+    canonical ordering places them last, so stripping is a truncation.
+    """
+    k = original_n
+    result.u = result.u[:, :k]
+    result.sigma = result.sigma[:k]
+    # v rows beyond original_n correspond to padded input coordinates
+    result.v = result.v[:k, :k]
+    result.sigma_by_slot = result.sigma_by_slot  # slot view keeps machine width
+    result.rank = min(result.rank, k)
+    return result
+
+
+def leaf_layout(n: int) -> list[tuple[int, int]]:
+    """Home (leaf, slot) of every column index under the 2-per-leaf deal."""
+    return [(i // 2, i) for i in range(n)]

@@ -1,0 +1,24 @@
+"""One-sided (Hestenes) Jacobi SVD numerics."""
+
+from .convergence import off_norm, quadratic_rate_ok, relative_off
+from .hestenes import JacobiOptions, hestenes_sweeps, jacobi_svd
+from .reference import accuracy_report, reference_singular_values
+from .rotations import RotationStats, apply_step_rotations, rotation_params
+from .thresholds import FixedThreshold, StagedThreshold, ThresholdStrategy
+
+__all__ = [
+    "FixedThreshold",
+    "JacobiOptions",
+    "StagedThreshold",
+    "ThresholdStrategy",
+    "RotationStats",
+    "accuracy_report",
+    "apply_step_rotations",
+    "hestenes_sweeps",
+    "jacobi_svd",
+    "off_norm",
+    "quadratic_rate_ok",
+    "reference_singular_values",
+    "relative_off",
+    "rotation_params",
+]

@@ -1,0 +1,44 @@
+"""Reference decomposition and accuracy metrics.
+
+``numpy.linalg.svd`` (LAPACK's Golub-Kahan/QR-based driver) serves as
+the ground truth the Jacobi drivers are validated against; the metrics
+here are the standard backward-error style measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.result import SVDResult
+
+__all__ = ["reference_singular_values", "accuracy_report"]
+
+
+def reference_singular_values(a: np.ndarray) -> np.ndarray:
+    """Nonincreasing singular values from the LAPACK reference."""
+    return np.linalg.svd(np.asarray(a, dtype=np.float64), compute_uv=False)
+
+
+def accuracy_report(a: np.ndarray, result: SVDResult) -> dict[str, float]:
+    """Standard error measures of a computed SVD against ``a``.
+
+    * ``sigma_err``     — max relative singular-value error vs LAPACK
+    * ``recon_err``     — relative Frobenius reconstruction error
+    * ``u_ortho_err``   — || U_r^T U_r - I ||
+    * ``v_ortho_err``   — || V^T V - I ||
+    """
+    a = np.asarray(a, dtype=np.float64)
+    ref = reference_singular_values(a)
+    scale = ref[0] if ref.size and ref[0] > 0 else 1.0
+    k = min(len(ref), len(result.sigma))
+    sigma_err = float(np.max(np.abs(result.sigma[:k] - ref[:k])) / scale) if k else 0.0
+    r = result.rank
+    u_r = result.u[:, :r]
+    u_ortho = float(np.linalg.norm(u_r.T @ u_r - np.eye(r))) if r else 0.0
+    v_ortho = float(np.linalg.norm(result.v.T @ result.v - np.eye(result.v.shape[1])))
+    return {
+        "sigma_err": sigma_err,
+        "recon_err": result.reconstruction_error(a),
+        "u_ortho_err": u_ortho,
+        "v_ortho_err": v_ortho,
+    }

@@ -1,0 +1,64 @@
+"""Threshold strategies for the Jacobi iteration (Wilkinson [16]).
+
+The paper: "Exceptional cases in which cycling occurs are easily avoided
+by the use of a threshold strategy".  The classical strategy
+(Rutishauser/Wilkinson) runs the early sweeps with a *coarse* rotation
+threshold — rotating only pairs whose off-diagonal mass is worth the
+work — and tightens it sweep by sweep down to the convergence tolerance.
+Two effects: cycling on pathological inputs is impossible (every applied
+rotation removes at least the current threshold's worth of off-mass),
+and early sweeps skip rotations that later sweeps would redo anyway.
+
+``ThresholdStrategy`` maps the sweep number to the rotation threshold;
+the driver keeps terminating on the *final* tolerance regardless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ThresholdStrategy", "FixedThreshold", "StagedThreshold"]
+
+
+class ThresholdStrategy:
+    """Maps a 0-based sweep index to that sweep's rotation threshold."""
+
+    #: the convergence tolerance the iteration must ultimately reach
+    final_tol: float = 1e-12
+
+    def threshold(self, sweep: int) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedThreshold(ThresholdStrategy):
+    """Every sweep rotates down to the convergence tolerance (the default
+    behaviour of :class:`~repro.svd.hestenes.JacobiOptions`)."""
+
+    final_tol: float = 1e-12
+
+    def threshold(self, sweep: int) -> float:
+        return self.final_tol
+
+
+@dataclass(frozen=True)
+class StagedThreshold(ThresholdStrategy):
+    """Geometrically tightening thresholds (the classical staged strategy).
+
+    Sweep ``k`` uses ``max(initial * decay^k, final_tol)``; after
+    ``ceil(log(initial/final_tol) / log(1/decay))`` sweeps the strategy
+    reaches the final tolerance and stays there.
+    """
+
+    initial: float = 1e-2
+    decay: float = 1e-2
+    final_tol: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.decay < 1.0):
+            raise ValueError("decay must be in (0, 1)")
+        if self.initial < self.final_tol:
+            raise ValueError("initial threshold below the final tolerance")
+
+    def threshold(self, sweep: int) -> float:
+        return max(self.initial * self.decay**sweep, self.final_tol)

@@ -1,0 +1,20 @@
+"""Shared utilities: bit tricks, validation, text table rendering."""
+
+from .bits import comm_level, ilog2, is_power_of_two, leaf_of_slot, msb
+from .formatting import render_pairs, render_step_table, render_table
+from .validation import require, require_even, require_power_of_two, require_range
+
+__all__ = [
+    "comm_level",
+    "ilog2",
+    "is_power_of_two",
+    "leaf_of_slot",
+    "msb",
+    "render_pairs",
+    "render_step_table",
+    "render_table",
+    "require",
+    "require_even",
+    "require_power_of_two",
+    "require_range",
+]

@@ -1,0 +1,61 @@
+"""Small bit-manipulation helpers used throughout the tree machinery.
+
+The paper indexes tree levels from the leaves up starting at 1; the
+*level* of a communication between two leaves is the number of levels a
+message must climb before descending to its destination (Section 3 of the
+paper).  For leaves ``i`` and ``j`` on a complete binary tree this is
+``msb(i ^ j) + 1`` where ``msb`` is the zero-based index of the most
+significant set bit.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "is_power_of_two",
+    "ilog2",
+    "msb",
+    "comm_level",
+    "leaf_of_slot",
+]
+
+
+def is_power_of_two(x: int) -> bool:
+    """Return True iff ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def ilog2(x: int) -> int:
+    """Exact integer log2 of a positive power of two.
+
+    Raises ``ValueError`` for any other input so that silent mis-sizing of
+    a tree cannot occur.
+    """
+    if not is_power_of_two(x):
+        raise ValueError(f"expected a positive power of two, got {x!r}")
+    return x.bit_length() - 1
+
+
+def msb(x: int) -> int:
+    """Zero-based index of the most significant set bit of ``x`` > 0."""
+    if x <= 0:
+        raise ValueError(f"msb undefined for {x!r}")
+    return x.bit_length() - 1
+
+
+def comm_level(leaf_a: int, leaf_b: int) -> int:
+    """Tree level crossed by a message between two leaves.
+
+    Level 0 means the message stays on one leaf (no communication);
+    level 1 is nearest-neighbour (sibling) communication, as defined in
+    Section 3 of the paper.
+    """
+    if leaf_a == leaf_b:
+        return 0
+    return msb(leaf_a ^ leaf_b) + 1
+
+
+def leaf_of_slot(slot: int, cols_per_leaf: int = 2) -> int:
+    """Leaf processor owning a column slot (slots are dealt contiguously)."""
+    if slot < 0:
+        raise ValueError(f"negative slot {slot!r}")
+    return slot // cols_per_leaf

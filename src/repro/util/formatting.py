@@ -1,0 +1,61 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness regenerates the paper's figures as step tables in
+the same spirit as Figs 1-9 (``step | index pairs | level``); this module
+owns the rendering so that tests can assert on structured data while the
+human-facing output stays consistent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["render_table", "render_pairs", "render_step_table"]
+
+
+def render_pairs(pairs: Iterable[tuple[int, int]]) -> str:
+    """Render index pairs like ``(1 2)(3 4)(5 6)`` as in the paper's figures."""
+    return "".join(f"({a} {b})" for a, b in pairs)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width text table.
+
+    Column widths are derived from content; all values are ``str()``-ed.
+    """
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_step_table(
+    step_rows: Sequence[tuple[int, Sequence[tuple[int, int]], object]],
+    title: str | None = None,
+) -> str:
+    """Render a ``step | index pairs | level`` table (the Fig 2/3/6/9 shape).
+
+    ``step_rows`` holds ``(step_number, pairs, level_annotation)`` tuples;
+    the level annotation sits *between* steps in the paper, so it is
+    printed on its own separator line after the step's pairs.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'step':>4}  index pairs")
+    for step, pairs, level in step_rows:
+        lines.append(f"{step:>4}  {render_pairs(pairs)}")
+        if level not in (None, ""):
+            lines.append(f"      -- {level} --")
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from .bits import is_power_of_two
+
+__all__ = ["require", "require_even", "require_power_of_two", "require_range"]
+
+
+def require(cond: bool, message: str) -> None:
+    """Raise ``ValueError`` with ``message`` unless ``cond`` holds."""
+    if not cond:
+        raise ValueError(message)
+
+
+def require_even(n: int, what: str = "n") -> None:
+    """Require an even integer >= 2."""
+    require(n >= 2 and n % 2 == 0, f"{what} must be an even integer >= 2, got {n!r}")
+
+
+def require_power_of_two(n: int, what: str = "n", minimum: int = 1) -> None:
+    """Require a power of two no smaller than ``minimum``."""
+    require(
+        is_power_of_two(n) and n >= minimum,
+        f"{what} must be a power of two >= {minimum}, got {n!r}",
+    )
+
+
+def require_range(x: int, lo: int, hi: int, what: str = "value") -> None:
+    """Require ``lo <= x <= hi``."""
+    require(lo <= x <= hi, f"{what} must be in [{lo}, {hi}], got {x!r}")

@@ -1,0 +1,21 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_matrix(rng: np.random.Generator) -> np.ndarray:
+    return rng.standard_normal((12, 8))
+
+
+@pytest.fixture
+def medium_matrix(rng: np.random.Generator) -> np.ndarray:
+    return rng.standard_normal((24, 16))

@@ -1,0 +1,13 @@
+"""Shared helpers for tests (importable as ``tests.helpers``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_graded(m: int, n: int, rng: np.random.Generator, lo: float = 1e-4) -> np.ndarray:
+    """Matrix with geometrically graded, well separated singular values."""
+    u, _ = np.linalg.qr(rng.standard_normal((m, n)))
+    v, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    s = np.geomspace(1.0, lo, n)
+    return (u * s) @ v.T

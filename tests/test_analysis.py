@@ -1,0 +1,163 @@
+"""Tests of the analysis/experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    comm_cost_table,
+    contention_table,
+    convergence_table,
+    fig1_round_robin,
+    fig2_basic_two_block,
+    fig3_two_block_size4,
+    fig4_basic_modules,
+    fig5_merge_scheme,
+    fig6_four_block_eight,
+    fig7_ring_ordering,
+    fig8_modified_ring,
+    fig9_hybrid_sixteen,
+    per_level_contention,
+    render_comm_table,
+    render_contention_table,
+    render_convergence_table,
+    render_timing_table,
+    ring_round_robin_equivalence,
+    step_table,
+    tab_time,
+    workload_matrix,
+)
+from repro.machine import make_topology
+
+
+class TestFigureGenerators:
+    def test_fig1(self):
+        s = fig1_round_robin(8)
+        assert s.n_rotation_steps == 7
+
+    def test_fig2(self):
+        rows = step_table(fig2_basic_two_block())
+        assert len(rows) == 2
+        assert rows[0][1] == [(1, 2), (3, 4)]
+        assert rows[1][1] == [(1, 4), (3, 2)]
+
+    def test_fig3_levels(self):
+        rows = step_table(fig3_two_block_size4())
+        # the size-4 two-block ordering: 4 steps, level sequence 1,2,1
+        assert len(rows) == 4
+        anns = [r[2] for r in rows[:-1]]
+        assert anns == ["level 1", "level 2", "level 1"]
+
+    def test_fig4(self):
+        a, b = fig4_basic_modules()
+        assert a.final_layout() == [1, 2, 3, 4]
+        assert b.final_layout() == [1, 2, 4, 3]
+
+    def test_fig5(self):
+        plan = fig5_merge_scheme(16)
+        assert len(plan) == 3
+
+    def test_fig6(self):
+        rows = step_table(fig6_four_block_eight())
+        assert len(rows) == 7
+        assert rows[0][1] == [(1, 2), (3, 4), (5, 6), (7, 8)]
+        # every pair has left < right (Fig 4(a) discipline)
+        for _, pairs, _ in rows:
+            assert all(a < b for a, b in pairs)
+
+    def test_fig7_equivalence(self):
+        _, eq = fig7_ring_ordering(8)
+        assert eq.verified
+
+    def test_fig8_equivalence(self):
+        _, eq = fig8_modified_ring(8)
+        assert eq.verified
+
+    def test_fig9_structure(self):
+        s = fig9_hybrid_sixteen()
+        assert s.n_rotation_steps == 15
+        assert s.notes["n_groups"] == 4
+
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    @pytest.mark.parametrize("modified", [False, True])
+    def test_equivalence_scales(self, n, modified):
+        assert ring_round_robin_equivalence(n, modified).verified
+
+
+class TestTables:
+    def test_comm_cost_rows(self):
+        rows = comm_cost_table(16)
+        names = [r.ordering for r in rows]
+        assert "fat_tree" in names and "round_robin" in names
+        ft = next(r for r in rows if r.ordering == "fat_tree")
+        rr = next(r for r in rows if r.ordering == "round_robin")
+        # the fat-tree ordering sends fewer messages overall than
+        # round-robin (locality pays)
+        assert ft.total_messages < rr.total_messages
+
+    def test_comm_render(self):
+        text = render_comm_table(comm_cost_table(16))
+        assert "TAB-COMM" in text and "fat_tree" in text
+
+    def test_contention_rows(self):
+        rows = contention_table(32, kwargs_by_name={"hybrid": {"n_groups": 8}})
+        cm5 = {r.ordering: r for r in rows if r.topology == "cm5"}
+        assert cm5["hybrid"].contention_free
+        assert not cm5["fat_tree"].contention_free
+        perfect = {r.ordering: r for r in rows if r.topology == "perfect_fat_tree"}
+        assert perfect["fat_tree"].contention_free
+
+    def test_contention_render(self):
+        text = render_contention_table(contention_table(16))
+        assert "TAB-CONT" in text
+
+    def test_convergence_rows(self):
+        rows = convergence_table(n=16, runs=2, names=["fat_tree", "ring_new"])
+        for r in rows:
+            assert r.converged_runs == r.runs
+            assert r.max_sigma_err < 1e-11
+
+    def test_convergence_render(self):
+        rows = convergence_table(n=16, runs=1, names=["fat_tree"])
+        assert "TAB-CONV" in render_convergence_table(rows)
+
+    def test_timing_rows(self):
+        rows = tab_time(n=16, topologies=["cm5"], names=["fat_tree", "hybrid"],
+                        **{"hybrid": {"n_groups": 2}})
+        assert len(rows) == 2
+        assert all(r.total_time > 0 for r in rows)
+
+    def test_timing_render(self):
+        rows = tab_time(n=16, topologies=["cm5"], names=["fat_tree"])
+        assert "TAB-TIME" in render_timing_table(rows)
+
+
+class TestWorkloadGenerator:
+    def test_kinds(self, rng):
+        for kind in ("gaussian", "graded", "clustered"):
+            a = workload_matrix(12, 8, rng, kind)
+            assert a.shape == (12, 8)
+
+    def test_graded_spectrum(self, rng):
+        a = workload_matrix(16, 8, rng, "graded")
+        s = np.linalg.svd(a, compute_uv=False)
+        assert s[0] / s[-1] > 1e3
+
+    def test_unknown_kind(self, rng):
+        with pytest.raises(ValueError):
+            workload_matrix(8, 4, rng, "spooky")
+
+
+class TestPerLevelContention:
+    def test_ring_free_everywhere_on_binary(self):
+        from repro.orderings import make_ordering
+
+        topo = make_topology("binary", 16)
+        prof = per_level_contention(make_ordering("ring_new", 32).sweep(0), topo)
+        assert all(v <= 1.0 for v in prof.values())
+
+    def test_fat_tree_saturates_perfect_exactly(self):
+        from repro.orderings import make_ordering
+
+        topo = make_topology("perfect", 16)
+        prof = per_level_contention(make_ordering("fat_tree", 32).sweep(0), topo)
+        assert max(prof.values()) == 1.0

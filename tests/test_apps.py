@@ -1,0 +1,141 @@
+"""Tests of the application layer (lstsq, pinv, truncated SVD, PCA)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import lstsq, pca, pinv, truncated_svd
+
+
+class TestLstsq:
+    def test_overdetermined_matches_numpy(self, rng):
+        a = rng.standard_normal((30, 8))
+        b = rng.standard_normal(30)
+        ours = lstsq(a, b)
+        ref, _, rank, _ = np.linalg.lstsq(a, b, rcond=None)
+        assert ours.rank == rank
+        assert np.allclose(ours.x, ref, atol=1e-10)
+
+    def test_exact_system(self, rng):
+        a = rng.standard_normal((8, 8))
+        x_true = rng.standard_normal(8)
+        res = lstsq(a, a @ x_true)
+        assert np.allclose(res.x, x_true, atol=1e-9)
+        assert res.residual_norm < 1e-9
+
+    def test_rank_deficient_minimum_norm(self, rng):
+        a = rng.standard_normal((20, 6))
+        a[:, 5] = a[:, 0]  # rank 5
+        b = rng.standard_normal(20)
+        ours = lstsq(a, b)
+        ref, _, rank, _ = np.linalg.lstsq(a, b, rcond=None)
+        assert ours.rank == 5 == rank
+        assert np.allclose(ours.x, ref, atol=1e-9)
+        # minimum-norm: matches the pseudoinverse solution
+        assert np.linalg.norm(ours.x) <= np.linalg.norm(ref) + 1e-9
+
+    def test_multiple_rhs(self, rng):
+        a = rng.standard_normal((20, 6))
+        b = rng.standard_normal((20, 3))
+        ours = lstsq(a, b)
+        ref, *_ = np.linalg.lstsq(a, b, rcond=None)
+        assert ours.x.shape == (6, 3)
+        assert np.allclose(ours.x, ref, atol=1e-9)
+
+    def test_residual_orthogonal_to_range(self, rng):
+        a = rng.standard_normal((20, 6))
+        b = rng.standard_normal(20)
+        res = lstsq(a, b)
+        assert np.linalg.norm(a.T @ (b - a @ res.x)) < 1e-9
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            lstsq(rng.standard_normal((10, 4)), rng.standard_normal(9))
+
+
+class TestPinv:
+    def test_matches_numpy_tall(self, rng):
+        a = rng.standard_normal((12, 6))
+        assert np.allclose(pinv(a), np.linalg.pinv(a), atol=1e-10)
+
+    def test_matches_numpy_wide(self, rng):
+        a = rng.standard_normal((6, 12))
+        assert np.allclose(pinv(a), np.linalg.pinv(a), atol=1e-10)
+
+    def test_penrose_conditions(self, rng):
+        a = rng.standard_normal((10, 5))
+        a[:, 4] = a[:, 0]  # rank deficient
+        p = pinv(a)
+        assert np.allclose(a @ p @ a, a, atol=1e-9)
+        assert np.allclose(p @ a @ p, p, atol=1e-9)
+        assert np.allclose((a @ p).T, a @ p, atol=1e-9)
+        assert np.allclose((p @ a).T, p @ a, atol=1e-9)
+
+
+class TestTruncatedSvd:
+    def test_eckart_young_error(self, rng):
+        a = rng.standard_normal((16, 10))
+        k = 4
+        approx = truncated_svd(a, k)
+        ref = np.linalg.svd(a, compute_uv=False)
+        assert approx.error == pytest.approx(np.sqrt(np.sum(ref[k:] ** 2)), rel=1e-10)
+        assert np.linalg.norm(a - approx.reconstruct()) == pytest.approx(approx.error, rel=1e-8)
+
+    def test_full_rank_exact(self, rng):
+        a = rng.standard_normal((12, 6))
+        approx = truncated_svd(a, 6)
+        assert approx.error < 1e-10
+        assert approx.energy == pytest.approx(1.0)
+
+    def test_wide_matrix(self, rng):
+        a = rng.standard_normal((6, 12))
+        approx = truncated_svd(a, 3)
+        assert approx.reconstruct().shape == a.shape
+        ref = np.linalg.svd(a, compute_uv=False)
+        assert approx.error == pytest.approx(np.sqrt(np.sum(ref[3:] ** 2)), rel=1e-9)
+
+    def test_k_bounds(self, rng):
+        a = rng.standard_normal((8, 4))
+        with pytest.raises(ValueError):
+            truncated_svd(a, 0)
+        with pytest.raises(ValueError):
+            truncated_svd(a, 5)
+
+
+class TestPca:
+    def test_components_orthonormal(self, rng):
+        x = rng.standard_normal((50, 8))
+        r = pca(x, k=4)
+        assert np.allclose(r.components @ r.components.T, np.eye(4), atol=1e-10)
+
+    def test_matches_eigendecomposition_of_covariance(self, rng):
+        x = rng.standard_normal((60, 6))
+        r = pca(x)
+        cov = np.cov(x, rowvar=False)
+        ref = np.sort(np.linalg.eigvalsh(cov))[::-1]
+        assert np.allclose(r.explained_variance, ref[: len(r.explained_variance)], atol=1e-9)
+
+    def test_explained_variance_sorted_and_normalised(self, rng):
+        x = rng.standard_normal((40, 10))
+        r = pca(x)
+        assert np.all(np.diff(r.explained_variance) <= 1e-12)
+        assert np.sum(pca(x, k=10).explained_variance_ratio) == pytest.approx(1.0)
+
+    def test_scores_reproduce_centred_data(self, rng):
+        x = rng.standard_normal((30, 5))
+        r = pca(x, k=5)
+        assert np.allclose(r.scores @ r.components + r.mean, x, atol=1e-9)
+
+    def test_dominant_direction_found(self, rng):
+        # data concentrated along one axis
+        t = rng.standard_normal(100)
+        x = np.outer(t, [3.0, 0.1, 0.0, 0.0]) + 0.01 * rng.standard_normal((100, 4))
+        r = pca(x, k=1)
+        direction = r.components[0] / np.linalg.norm(r.components[0])
+        assert abs(direction[0]) > 0.99
+        assert r.explained_variance_ratio[0] > 0.99
+
+    def test_wide_data(self, rng):
+        x = rng.standard_normal((6, 20))
+        r = pca(x, k=3)
+        assert r.components.shape == (3, 20)
+        assert r.scores.shape == (6, 3)

@@ -1,0 +1,78 @@
+"""Tests of the one-sided block Jacobi driver."""
+
+import numpy as np
+import pytest
+
+from repro.blockjacobi import BlockJacobiOptions, block_jacobi_svd
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("b", [1, 2, 4, 8])
+    def test_matches_lapack(self, rng, b):
+        a = rng.standard_normal((40, 32))
+        r = block_jacobi_svd(a, options=BlockJacobiOptions(block_size=b))
+        assert r.converged
+        ref = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(r.sigma - ref)) < 1e-11 * ref[0]
+
+    @pytest.mark.parametrize("name", ["ring_new", "round_robin", "fat_tree", "odd_even"])
+    def test_all_orderings(self, rng, name):
+        a = rng.standard_normal((24, 16))
+        r = block_jacobi_svd(a, ordering=name,
+                             options=BlockJacobiOptions(block_size=2))
+        assert r.converged
+        ref = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(r.sigma - ref)) < 1e-11 * ref[0]
+
+    def test_uv_reconstruction(self, rng):
+        a = rng.standard_normal((24, 16))
+        r = block_jacobi_svd(a, options=BlockJacobiOptions(block_size=4))
+        assert np.linalg.norm(a - (r.u * r.sigma) @ r.v.T) < 1e-10
+
+    def test_sorted_output(self, rng):
+        a = rng.standard_normal((24, 16))
+        r = block_jacobi_svd(a, options=BlockJacobiOptions(block_size=4))
+        assert r.emerged_sorted == "desc"
+
+    def test_rank_deficient(self, rng):
+        a = rng.standard_normal((24, 16))
+        a[:, 15] = a[:, 0]
+        r = block_jacobi_svd(a, options=BlockJacobiOptions(block_size=4))
+        assert r.rank == 15
+
+    def test_larger_blocks_fewer_outer_sweeps(self, rng):
+        a = rng.standard_normal((48, 32))
+        small = block_jacobi_svd(a, options=BlockJacobiOptions(block_size=1))
+        large = block_jacobi_svd(a, options=BlockJacobiOptions(block_size=8))
+        assert large.sweeps <= small.sweeps
+
+
+class TestValidation:
+    def test_block_size_must_divide(self, rng):
+        with pytest.raises(ValueError):
+            block_jacobi_svd(rng.standard_normal((20, 12)),
+                             options=BlockJacobiOptions(block_size=5))
+
+    def test_block_count_must_fit_ordering(self, rng):
+        # n=16, b=4 -> 4 blocks; fat_tree needs a power of two >= 4: ok.
+        # n=24, b=4 -> 6 blocks; fat_tree rejects non powers of two
+        with pytest.raises(ValueError):
+            block_jacobi_svd(rng.standard_normal((30, 24)), ordering="fat_tree",
+                             options=BlockJacobiOptions(block_size=4))
+
+    def test_ring_accepts_any_even_block_count(self, rng):
+        a = rng.standard_normal((30, 24))  # 6 blocks of 4
+        r = block_jacobi_svd(a, ordering="ring_new",
+                             options=BlockJacobiOptions(block_size=4))
+        assert r.converged
+
+    def test_positive_block_size(self, rng):
+        with pytest.raises(ValueError):
+            block_jacobi_svd(rng.standard_normal((8, 8)),
+                             options=BlockJacobiOptions(block_size=0))
+
+    def test_history_and_monotone_off(self, rng):
+        a = rng.standard_normal((24, 16))
+        r = block_jacobi_svd(a, options=BlockJacobiOptions(block_size=4))
+        offs = [h.off_norm for h in r.history]
+        assert all(b_ <= a_ + 1e-9 for a_, b_ in zip(offs, offs[1:]))

@@ -1,0 +1,54 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_svd_defaults(self):
+        args = build_parser().parse_args(["svd"])
+        assert args.m == 96 and args.n == 64
+        assert args.ordering == "hybrid" and args.topology == "cm5"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fat_tree" in out and "cm5" in out and "FIG9" in out
+
+    def test_svd_serial(self, capsys):
+        rc = main(["svd", "--m", "24", "--n", "16", "--serial",
+                   "--ordering", "fat_tree"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "converged=True" in out
+        assert "sigma error" in out
+
+    def test_svd_parallel(self, capsys):
+        rc = main(["svd", "--m", "24", "--n", "16",
+                   "--ordering", "ring_new", "--topology", "binary"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "contention-free=True" in out
+
+    def test_figures_subset(self, capsys):
+        assert main(["figures", "FIG2"]) == 0
+        out = capsys.readouterr().out
+        assert "two-block basic module" in out
+
+    def test_figures_unknown_id(self, capsys):
+        assert main(["figures", "FIG99"]) == 2
+
+    def test_tables_unknown_id(self, capsys):
+        assert main(["tables", "TAB-NOPE"]) == 2
+
+    def test_tables_subset(self, capsys):
+        assert main(["tables", "TAB-SWEEP"]) == 0
+        out = capsys.readouterr().out
+        assert "rotation-gap" in out

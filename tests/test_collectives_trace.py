@@ -1,0 +1,121 @@
+"""Tests of tree collectives and execution-trace rendering."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    CostModel,
+    collective_cost,
+    make_topology,
+    render_gantt,
+    render_timeline,
+    tree_allreduce,
+    tree_broadcast,
+    tree_reduce,
+    tree_scan,
+    utilization,
+)
+from repro.machine.simulator import TreeMachine
+from repro.orderings import make_ordering
+
+
+class TestCollectiveSemantics:
+    def test_reduce_sum(self):
+        assert tree_reduce([1.0, 2.0, 3.0, 4.0], operator.add) == 10.0
+
+    def test_reduce_max(self):
+        assert tree_reduce([1.0, 9.0, 3.0, 4.0], max) == 9.0
+
+    def test_reduce_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            tree_reduce([1.0, 2.0, 3.0], operator.add)
+
+    def test_reduce_order_is_pairwise(self):
+        # combination order is the tree's, not left-to-right
+        seen = []
+
+        def op(a, b):
+            seen.append((a, b))
+            return a + b
+
+        tree_reduce([1, 2, 3, 4], op)
+        assert seen == [(1, 2), (3, 4), (3, 7)]
+
+    def test_broadcast(self):
+        assert tree_broadcast(7.0, 4) == [7.0] * 4
+
+    def test_allreduce(self):
+        assert tree_allreduce([1.0, 2.0, 3.0, 4.0], operator.add) == [10.0] * 4
+
+    def test_scan_inclusive(self):
+        assert tree_scan([1.0, 2.0, 3.0, 4.0], operator.add) == [1.0, 3.0, 6.0, 10.0]
+
+
+class TestCollectiveCosts:
+    def test_reduce_cost_scales_with_levels(self):
+        cm = CostModel(alpha=0.0, beta=1.0, hop_time=0.0)
+        small = collective_cost("reduce", make_topology("perfect", 4), 10, cm)
+        large = collective_cost("reduce", make_topology("perfect", 16), 10, cm)
+        assert large.time == 2 * small.time  # 4 levels vs 2
+
+    def test_allreduce_is_two_traversals(self):
+        topo = make_topology("perfect", 8)
+        red = collective_cost("reduce", topo, 10)
+        allr = collective_cost("allreduce", topo, 10)
+        assert allr.time == pytest.approx(2 * red.time)
+        assert allr.channel_crossings == 2 * red.channel_crossings
+
+    def test_allgather_payload_grows(self):
+        topo = make_topology("perfect", 16)
+        ag = collective_cost("allgather", topo, 10)
+        br = collective_cost("broadcast", topo, 10)
+        assert ag.time > br.time
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            collective_cost("gossip", make_topology("perfect", 4), 1)
+
+    def test_crossings_are_edge_count(self):
+        topo = make_topology("perfect", 8)
+        assert collective_cost("broadcast", topo, 1).channel_crossings == 7
+
+
+class TestTrace:
+    @pytest.fixture
+    def stats(self, rng):
+        a = rng.standard_normal((24, 16))
+        m = TreeMachine(make_topology("cm5", 8))
+        m.load(a)
+        stats, _, _ = m.run_sweep(make_ordering("fat_tree", 16).sweep(0))
+        return stats
+
+    def test_utilization_sums(self, stats):
+        u = utilization(stats)
+        assert u.total_time == pytest.approx(u.compute_time + u.comm_time)
+        assert 0.0 <= u.compute_fraction <= 1.0
+        assert u.messages == stats.total_messages
+
+    def test_small_problem_is_communication_bound(self, stats):
+        # the paper's point: compute-bound serially, comm-bound in parallel
+        assert utilization(stats).communication_bound
+
+    def test_timeline_renders_rows(self, stats):
+        text = render_timeline(stats, max_rows=5)
+        assert "sweep timeline" in text
+        assert "more steps" in text
+
+    def test_timeline_full(self, stats):
+        text = render_timeline(stats, max_rows=None)
+        assert len(text.splitlines()) >= len(stats.steps)
+
+    def test_gantt_strip(self, stats):
+        text = render_gantt(stats, width=30)
+        assert "#" in text or "~" in text
+        assert "compute" in text
+
+    def test_gantt_empty(self):
+        from repro.machine.stats import SweepStats
+
+        assert render_gantt(SweepStats()) == "(empty sweep)"

@@ -1,0 +1,109 @@
+"""Tests of the top-level public API."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    JacobiOptions,
+    SVDResult,
+    jacobi_svd,
+    make_ordering,
+    ordering_names,
+    parallel_svd,
+    svd,
+)
+
+
+class TestSvd:
+    def test_basic(self, rng):
+        a = rng.standard_normal((20, 16))
+        r = svd(a)
+        assert isinstance(r, SVDResult)
+        assert r.converged
+
+    def test_awkward_width_padded(self, rng):
+        a = rng.standard_normal((20, 13))
+        r = svd(a)
+        ref = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(r.sigma - ref)) < 1e-12 * ref[0]
+        assert r.u.shape == (20, 13)
+        assert r.v.shape == (13, 13)
+        assert np.linalg.norm(a - (r.u * r.sigma) @ r.v.T) < 1e-10
+
+    def test_even_width_ring_not_padded(self, rng):
+        a = rng.standard_normal((20, 10))
+        r = svd(a, ordering="ring_new")
+        assert r.sigma.shape == (10,)
+        ref = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(r.sigma - ref)) < 1e-12 * ref[0]
+
+    def test_odd_width_ring_padded(self, rng):
+        a = rng.standard_normal((20, 9))
+        r = svd(a, ordering="ring_new")
+        ref = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(r.sigma - ref)) < 1e-12 * ref[0]
+
+    def test_options_forwarded(self, rng):
+        a = rng.standard_normal((20, 16))
+        r = svd(a, options=JacobiOptions(max_sweeps=1))
+        assert r.sweeps == 1
+
+    def test_ordering_kwargs_forwarded(self, rng):
+        a = rng.standard_normal((40, 32))
+        r = svd(a, ordering="hybrid", n_groups=8)
+        assert r.converged
+
+
+class TestParallelSvd:
+    def test_default_cm5_hybrid(self, rng):
+        a = rng.standard_normal((48, 32))
+        result, report = parallel_svd(a)
+        assert result.converged
+        assert report.contention_free  # the paper's CM-5 design point
+
+    def test_padding_path(self, rng):
+        a = rng.standard_normal((30, 20))
+        result, report = parallel_svd(a, topology="perfect", ordering="fat_tree")
+        ref = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(result.sigma - ref)) < 1e-12 * ref[0]
+        assert result.u.shape == (30, 20)
+
+    def test_report_has_per_sweep_stats(self, rng):
+        a = rng.standard_normal((24, 16))
+        result, report = parallel_svd(a, topology="cm5", ordering="fat_tree")
+        assert len(report.sweep_stats) == result.sweeps
+
+
+class TestRegistry:
+    def test_names_stable(self):
+        assert ordering_names() == [
+            "fat_tree", "hybrid", "llb", "odd_even",
+            "ring_modified", "ring_new", "round_robin",
+        ]
+
+    def test_make_each(self):
+        for name in ordering_names():
+            o = make_ordering(name, 16)
+            assert o.n == 16
+            assert o.sweep(0).n_rotation_steps >= 15
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_ordering("butterfly", 16)
+
+
+class TestResultObject:
+    def test_reconstruct(self, rng):
+        a = rng.standard_normal((16, 8))
+        r = jacobi_svd(a)
+        assert np.allclose(r.reconstruct(), a, atol=1e-10)
+
+    def test_reconstruction_error_normalised(self, rng):
+        a = rng.standard_normal((16, 8))
+        r = jacobi_svd(a)
+        assert r.reconstruction_error(a) < 1e-12
+
+    def test_version_exported(self):
+        import repro
+
+        assert repro.__version__

@@ -1,0 +1,44 @@
+"""Tests of the capacity crossover study (TAB-CROSS)."""
+
+import pytest
+
+from repro.analysis import crossover_level, crossover_table, render_crossover_table
+
+
+class TestCrossover:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return crossover_table(n=64, m=96)
+
+    def test_sweeps_every_level(self, rows):
+        assert [r.skinny_above for r in rows] == [1, 2, 3, 4, 5]
+
+    def test_fat_tree_improves_monotonically_with_capacity(self, rows):
+        # the paper's closing prediction: more channel capacity makes the
+        # fat-tree ordering more attractive
+        times = [r.comm_time["fat_tree"] for r in rows]
+        assert times == sorted(times, reverse=True)
+
+    def test_fat_tree_contention_vanishes_at_perfect(self, rows):
+        assert rows[0].fat_tree_contention > 1.0
+        assert rows[-1].fat_tree_contention == 1.0
+
+    def test_near_parity_on_perfect_fat_tree(self, rows):
+        last = rows[-1]
+        gap = abs(last.comm_time["fat_tree"] - last.comm_time["hybrid"])
+        assert gap <= 0.02 * last.comm_time["hybrid"]
+
+    def test_hybrid_insensitive_to_upper_capacity(self, rows):
+        # hybrid never loads the skinny levels beyond capacity, so wider
+        # upper channels barely change its time
+        times = [r.comm_time["hybrid"] for r in rows]
+        assert max(times) <= 1.3 * min(times)
+
+    def test_crossover_level_semantics(self, rows):
+        lvl = crossover_level(rows)
+        if lvl is not None:
+            assert rows[lvl - 1].fat_tree_wins
+
+    def test_render(self, rows):
+        text = render_crossover_table(rows)
+        assert "TAB-CROSS" in text and "winner" in text

@@ -1,0 +1,117 @@
+"""Tests of the two-sided Jacobi symmetric eigensolver."""
+
+import numpy as np
+import pytest
+
+from repro.eig import EigOptions, jacobi_eigh, symmetric_off_norm
+
+ORDERINGS = ["fat_tree", "round_robin", "ring_new", "odd_even", "hybrid"]
+
+
+def random_symmetric(n, rng):
+    a = rng.standard_normal((n, n))
+    return (a + a.T) / 2.0
+
+
+def kwargs_for(name):
+    return {"n_groups": 4} if name == "hybrid" else {}
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", ORDERINGS)
+    def test_matches_numpy_eigh(self, rng, name):
+        a = random_symmetric(16, rng)
+        r = jacobi_eigh(a, ordering=name, **kwargs_for(name))
+        assert r.converged
+        ref = np.linalg.eigvalsh(a)[::-1]
+        assert np.max(np.abs(r.w - ref)) < 1e-11
+
+    def test_eigenvectors_orthogonal(self, rng):
+        a = random_symmetric(16, rng)
+        r = jacobi_eigh(a)
+        assert np.linalg.norm(r.v.T @ r.v - np.eye(16)) < 1e-11
+
+    def test_reconstruction(self, rng):
+        a = random_symmetric(16, rng)
+        r = jacobi_eigh(a)
+        assert np.linalg.norm(r.reconstruct() - a) < 1e-10
+
+    def test_eigen_equation(self, rng):
+        a = random_symmetric(8, rng)
+        r = jacobi_eigh(a)
+        for k in range(8):
+            assert np.linalg.norm(a @ r.v[:, k] - r.w[k] * r.v[:, k]) < 1e-10
+
+    def test_negative_eigenvalues_kept(self, rng):
+        # indefinite matrix: w contains both signs, still sorted descending
+        a = random_symmetric(16, rng)
+        r = jacobi_eigh(a)
+        assert (r.w > 0).any() and (r.w < 0).any()
+        assert np.all(np.diff(r.w) <= 1e-12)
+
+    def test_diagonal_matrix_immediate(self):
+        a = np.diag([5.0, 3.0, 2.0, 1.0])
+        r = jacobi_eigh(a)
+        assert r.sweeps == 1 and r.rotations == 0
+        assert np.allclose(r.w, [5.0, 3.0, 2.0, 1.0])
+
+    def test_sort_asc(self, rng):
+        a = random_symmetric(8, rng)
+        r = jacobi_eigh(a, options=EigOptions(sort="asc"))
+        assert np.all(np.diff(r.w) >= -1e-12)
+
+    def test_repeated_eigenvalues(self):
+        # multiplicity: I + rank-1 bump
+        n = 8
+        u = np.ones((n, 1)) / np.sqrt(n)
+        a = np.eye(n) + 3.0 * (u @ u.T)
+        r = jacobi_eigh(a)
+        assert abs(r.w[0] - 4.0) < 1e-12
+        assert np.allclose(r.w[1:], 1.0, atol=1e-12)
+
+
+class TestValidationAndBehaviour:
+    def test_rejects_nonsymmetric(self, rng):
+        with pytest.raises(ValueError):
+            jacobi_eigh(rng.standard_normal((8, 8)))
+
+    def test_rejects_rectangular(self, rng):
+        with pytest.raises(ValueError):
+            jacobi_eigh(rng.standard_normal((8, 6)))
+
+    def test_off_norm_decreases(self, rng):
+        a = random_symmetric(16, rng)
+        r = jacobi_eigh(a)
+        offs = r.off_history
+        assert offs[-1] < 1e-8 * max(offs)
+        assert all(b <= a_ + 1e-9 for a_, b in zip(offs, offs[1:]))
+
+    def test_sweep_budget(self, rng):
+        a = random_symmetric(16, rng)
+        r = jacobi_eigh(a, options=EigOptions(max_sweeps=1))
+        assert r.sweeps == 1 and not r.converged
+
+    def test_compute_v_false(self, rng):
+        a = random_symmetric(8, rng)
+        r = jacobi_eigh(a, compute_v=False)
+        assert r.v.shape == (8, 0)
+        ref = np.linalg.eigvalsh(a)[::-1]
+        assert np.max(np.abs(r.w - ref)) < 1e-11
+
+    def test_symmetric_off_norm(self):
+        assert symmetric_off_norm(np.eye(3)) == 0.0
+        a = np.array([[1.0, 2.0], [2.0, 1.0]])
+        assert symmetric_off_norm(a) == pytest.approx(np.sqrt(8.0))
+
+    def test_ordering_object_accepted(self, rng):
+        from repro.orderings import FatTreeOrdering
+
+        a = random_symmetric(16, rng)
+        r = jacobi_eigh(a, ordering=FatTreeOrdering(16))
+        assert r.converged
+
+    def test_equivalent_orderings_converge_alike(self, rng):
+        a = random_symmetric(16, rng)
+        s_ring = jacobi_eigh(a, ordering="ring_new").sweeps
+        s_rr = jacobi_eigh(a, ordering="round_robin").sweeps
+        assert abs(s_ring - s_rr) <= 2

@@ -1,0 +1,180 @@
+"""Tests of the serial one-sided Jacobi SVD driver."""
+
+import numpy as np
+import pytest
+
+from repro.orderings import ordering_names
+from repro.svd import JacobiOptions, accuracy_report, jacobi_svd
+from repro.svd.convergence import off_norm, quadratic_rate_ok
+
+from tests.helpers import make_graded
+
+ALL_ORDERINGS = ["round_robin", "odd_even", "ring_new", "ring_modified",
+                 "fat_tree", "llb", "hybrid"]
+
+
+def kwargs_for(name):
+    return {"n_groups": 4} if name == "hybrid" else {}
+
+
+class TestBasicCorrectness:
+    @pytest.mark.parametrize("name", ALL_ORDERINGS)
+    def test_matches_lapack(self, rng, name):
+        A = rng.standard_normal((24, 16))
+        r = jacobi_svd(A, ordering=name, **kwargs_for(name))
+        assert r.converged
+        rep = accuracy_report(A, r)
+        assert rep["sigma_err"] < 1e-12
+        assert rep["recon_err"] < 1e-12
+        # U's orthogonality floor is the termination threshold times a
+        # modest accumulation factor, not machine epsilon
+        assert rep["u_ortho_err"] < 5e-11
+        assert rep["v_ortho_err"] < 5e-11
+
+    @pytest.mark.parametrize("name", ALL_ORDERINGS)
+    def test_sigma_nonincreasing(self, rng, name):
+        A = rng.standard_normal((20, 16))
+        r = jacobi_svd(A, ordering=name, **kwargs_for(name))
+        assert np.all(np.diff(r.sigma) <= 1e-12)
+
+    def test_square_matrix(self, rng):
+        A = rng.standard_normal((16, 16))
+        r = jacobi_svd(A)
+        assert r.converged
+        assert accuracy_report(A, r)["sigma_err"] < 1e-12
+
+    def test_tall_thin(self, rng):
+        A = rng.standard_normal((200, 8))
+        r = jacobi_svd(A)
+        assert accuracy_report(A, r)["sigma_err"] < 1e-12
+
+    def test_rejects_wide_without_flag(self, rng):
+        with pytest.raises(ValueError):
+            jacobi_svd(rng.standard_normal((4, 8)))
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValueError):
+            jacobi_svd(np.ones(5))
+
+
+class TestRankDeficiency:
+    def test_exactly_rank_deficient(self, rng):
+        A = rng.standard_normal((20, 8))
+        A[:, 5] = 2.0 * A[:, 0]
+        A[:, 6] = A[:, 1] - A[:, 2]
+        A[:, 7] = 0.0
+        r = jacobi_svd(A)
+        assert r.rank == 5
+        assert np.all(r.sigma[5:] < 1e-10)
+        assert r.reconstruction_error(A) < 1e-12
+
+    def test_zero_matrix(self):
+        A = np.zeros((8, 4))
+        r = jacobi_svd(A)
+        assert r.rank == 0
+        assert np.all(r.sigma == 0.0)
+        assert r.converged
+
+    def test_rank_one(self, rng):
+        u = rng.standard_normal(12)
+        v = rng.standard_normal(4)
+        A = np.outer(u, v)
+        r = jacobi_svd(A)
+        assert r.rank == 1
+        assert r.sigma[0] == pytest.approx(np.linalg.norm(u) * np.linalg.norm(v))
+
+    def test_u_columns_orthonormal_up_to_rank(self, rng):
+        A = rng.standard_normal((20, 8))
+        A[:, 7] = A[:, 0]
+        r = jacobi_svd(A)
+        ur = r.u[:, : r.rank]
+        assert np.allclose(ur.T @ ur, np.eye(r.rank), atol=1e-12)
+
+
+class TestSortedEmergence:
+    @pytest.mark.parametrize("name", ["fat_tree", "round_robin"])
+    def test_emerges_descending(self, rng, name):
+        A = rng.standard_normal((24, 16))
+        r = jacobi_svd(A, ordering=name)
+        assert r.emerged_sorted == "desc"
+        assert np.allclose(r.sigma_by_slot, r.sigma)
+
+    def test_ring_sorted_after_even_sweeps(self, rng):
+        # the paper: nonincreasing order after an even number of sweeps
+        A = rng.standard_normal((24, 16))
+        r = jacobi_svd(A, ordering="ring_new")
+        if r.sweeps % 2 == 0:
+            assert r.emerged_sorted == "desc"
+
+    def test_sort_none_leaves_values_unsorted_generally(self, rng):
+        A = rng.standard_normal((24, 16))
+        r = jacobi_svd(A, ordering="fat_tree", options=JacobiOptions(sort=None))
+        # canonical sigma is still sorted even if slots are not
+        assert np.all(np.diff(r.sigma) <= 1e-12)
+
+    def test_asc_option(self, rng):
+        A = rng.standard_normal((24, 16))
+        r = jacobi_svd(A, ordering="fat_tree", options=JacobiOptions(sort="asc"))
+        assert r.emerged_sorted == "asc"
+
+
+class TestConvergenceBehaviour:
+    def test_off_norm_monotone(self, rng):
+        A = rng.standard_normal((24, 16))
+        r = jacobi_svd(A, ordering="fat_tree")
+        offs = [h.off_norm for h in r.history]
+        assert all(b <= a + 1e-9 for a, b in zip(offs, offs[1:]))
+
+    def test_quadratic_on_graded_spectrum(self, rng):
+        A = make_graded(32, 16, rng, lo=1e-3)
+        r = jacobi_svd(A, ordering="fat_tree")
+        assert quadratic_rate_ok([h.off_norm for h in r.history])
+
+    def test_max_sweeps_respected(self, rng):
+        A = rng.standard_normal((24, 16))
+        r = jacobi_svd(A, options=JacobiOptions(max_sweeps=2))
+        assert r.sweeps <= 2
+        assert not r.converged
+
+    def test_identity_converges_immediately(self):
+        r = jacobi_svd(np.eye(8))
+        assert r.sweeps == 1
+        assert r.rotations == 0
+
+    def test_loose_tolerance_converges_faster(self, rng):
+        A = rng.standard_normal((24, 16))
+        tight = jacobi_svd(A, options=JacobiOptions(tol=1e-14))
+        loose = jacobi_svd(A, options=JacobiOptions(tol=1e-4))
+        assert loose.sweeps <= tight.sweeps
+
+    def test_history_records_every_sweep(self, rng):
+        A = rng.standard_normal((24, 16))
+        r = jacobi_svd(A)
+        assert len(r.history) == r.sweeps
+        assert [h.sweep for h in r.history] == list(range(1, r.sweeps + 1))
+
+
+class TestOrderingObjectInput:
+    def test_accepts_prebuilt_ordering(self, rng):
+        from repro.orderings import FatTreeOrdering
+
+        A = rng.standard_normal((20, 16))
+        r = jacobi_svd(A, ordering=FatTreeOrdering(16))
+        assert r.converged
+
+    def test_rejects_size_mismatch(self, rng):
+        from repro.orderings import FatTreeOrdering
+
+        with pytest.raises(ValueError):
+            jacobi_svd(rng.standard_normal((20, 16)), ordering=FatTreeOrdering(8))
+
+    def test_unknown_name_rejected(self, rng):
+        with pytest.raises(ValueError):
+            jacobi_svd(rng.standard_normal((8, 4)), ordering="mystery")
+
+    def test_compute_uv_false_skips_vectors(self, rng):
+        A = rng.standard_normal((20, 16))
+        r = jacobi_svd(A, compute_uv=False)
+        assert r.u.shape == (20, 0)
+        ref = np.linalg.svd(A, compute_uv=False)
+        assert np.allclose(r.sigma, ref, atol=1e-12 * ref[0])

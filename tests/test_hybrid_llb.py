@@ -1,0 +1,128 @@
+"""Tests of the hybrid ordering (Section 5) and the LLB baseline."""
+
+import pytest
+
+from repro.orderings.hybrid import HybridOrdering, hybrid_sweep
+from repro.orderings.llb import LLBOrdering, llb_backward_sweep, llb_forward_sweep
+from repro.orderings.properties import (
+    check_all_pairs_once,
+    check_local_pairs,
+    meeting_gap_profile,
+)
+from repro.orderings.fattree import FatTreeOrdering
+
+CONFIGS = [(16, 2), (16, 4), (32, 4), (32, 8), (64, 8), (64, 16)]
+
+
+class TestHybridOrdering:
+    @pytest.mark.parametrize("n,g", CONFIGS)
+    def test_valid_sweep(self, n, g):
+        assert check_all_pairs_once(hybrid_sweep(n, g)).is_valid
+
+    @pytest.mark.parametrize("n,g", CONFIGS)
+    def test_optimal_step_count(self, n, g):
+        assert hybrid_sweep(n, g).n_rotation_steps == n - 1
+
+    @pytest.mark.parametrize("n,g", CONFIGS)
+    def test_local_pairs(self, n, g):
+        assert check_local_pairs(hybrid_sweep(n, g))
+
+    @pytest.mark.parametrize("n,g", CONFIGS)
+    def test_restored_after_two_sweeps(self, n, g):
+        assert HybridOrdering(n, g).restoration_period() in (1, 2)
+
+    def test_metadata_notes(self):
+        s = hybrid_sweep(32, 4)
+        assert s.notes["n_groups"] == 4
+        assert s.notes["block_size"] == 4
+
+    def test_block_moves_one_block_per_group_per_superstep(self):
+        # every group boundary phase carries whole blocks: message count
+        # per phase is a multiple of the block size, at most one block
+        # per group (Section 5's balanced-traffic property)
+        n, g = 32, 4
+        K = n // (2 * g)
+        s = hybrid_sweep(n, g)
+        boundary_sizes = [
+            sum(1 for m in step.moves if not m.is_local)
+            for step in s.steps
+            if any(m.level > 2 for m in step.moves)
+        ]
+        for size in boundary_sizes:
+            assert size % K == 0
+            assert size <= g * K
+
+    def test_default_group_count(self):
+        o = HybridOrdering(64)
+        assert o.n_groups == 8  # blocks of 4 columns, the CM-5-safe size
+
+    def test_rejects_too_few_leaves_per_group(self):
+        with pytest.raises(ValueError):
+            hybrid_sweep(16, 8)
+
+    def test_rejects_non_power_of_two_groups(self):
+        with pytest.raises(ValueError):
+            hybrid_sweep(32, 3)
+
+
+class TestLLBOrdering:
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_forward_valid(self, n):
+        assert check_all_pairs_once(llb_forward_sweep(n)).is_valid
+
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_forward_permutes_layout(self, n):
+        # the defect the paper criticises: indices end in the wrong slots
+        assert llb_forward_sweep(n).final_layout() != list(range(1, n + 1))
+
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_forward_backward_restores(self, n):
+        f = llb_forward_sweep(n)
+        b = llb_backward_sweep(n, skip_duplicate=True)
+        layout = b.final_layout(f.final_layout())
+        assert layout == list(range(1, n + 1))
+
+    @pytest.mark.parametrize("n", [8, 16])
+    def test_backward_full_is_valid(self, n):
+        f = llb_forward_sweep(n)
+        b = llb_backward_sweep(n, skip_duplicate=False)
+        assert check_all_pairs_once(b, layout=f.final_layout()).is_valid
+
+    @pytest.mark.parametrize("n", [8, 16])
+    def test_duplicate_rotation_at_boundary(self, n):
+        # the first rotation of the (unskipped) backward sweep repeats the
+        # last rotation of the forward sweep
+        f = llb_forward_sweep(n)
+        b = llb_backward_sweep(n, skip_duplicate=False)
+        last_fwd = {frozenset(p) for p in f.index_pairs()[-1]}
+        bwd_pairs = b.index_pairs(f.final_layout())
+        first_rot = next(ps for ps in bwd_pairs if ps)
+        assert {frozenset(p) for p in first_rot} == last_fwd
+
+    @pytest.mark.parametrize("n", [8, 16])
+    def test_skip_duplicate_omits_exactly_those_pairs(self, n):
+        f = llb_forward_sweep(n)
+        b = llb_backward_sweep(n, skip_duplicate=True)
+        report = check_all_pairs_once(b, layout=f.final_layout())
+        assert not report.duplicates
+        missing = {frozenset(p) for p in report.missing}
+        last_fwd = {frozenset(p) for p in f.index_pairs()[-1]}
+        assert missing == last_fwd
+
+    def test_ordering_alternates_sweeps(self):
+        o = LLBOrdering(16)
+        assert o.sweep(0).name.startswith("llb_forward")
+        assert o.sweep(1).name.startswith("llb_backward")
+        assert o.sweep(2) is o.sweep(0)
+
+    def test_restoration_period_two(self):
+        assert LLBOrdering(16).restoration_period() == 2
+
+    def test_variable_rotation_gap_vs_fat_tree(self):
+        # the paper: "the number of rotations between any fixed pair is
+        # variable rather than constant" — quantified as the spread of
+        # gaps between successive rotations of the same pair
+        llb = meeting_gap_profile(LLBOrdering(16), n_sweeps=4)
+        fat = meeting_gap_profile(FatTreeOrdering(16), n_sweeps=4)
+        assert fat["spread"] == 0.0
+        assert llb["spread"] > 0.0

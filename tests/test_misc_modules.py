@@ -1,0 +1,83 @@
+"""Unit tests for formatting, convergence measures and distribution helpers."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.distribution import (
+    leaf_layout,
+    next_admissible_width,
+    pad_columns,
+)
+from repro.svd.convergence import off_norm, quadratic_rate_ok, relative_off
+from repro.util.formatting import render_pairs, render_step_table, render_table
+
+
+class TestFormatting:
+    def test_render_pairs(self):
+        assert render_pairs([(1, 2), (3, 4)]) == "(1 2)(3 4)"
+
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len({len(line) for line in lines}) == 1  # equal width
+
+    def test_render_table_title(self):
+        out = render_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_render_step_table_levels(self):
+        out = render_step_table([(1, [(1, 2)], "level 1"), (2, [(1, 3)], "")])
+        assert "level 1" in out
+        assert "(1 3)" in out
+
+
+class TestConvergenceMeasures:
+    def test_off_norm_zero_for_orthogonal(self):
+        assert off_norm(np.eye(4)) == 0.0
+
+    def test_off_norm_positive(self, rng):
+        assert off_norm(rng.standard_normal((6, 4))) > 0.0
+
+    def test_relative_off_scale_invariant(self, rng):
+        X = rng.standard_normal((8, 4))
+        assert relative_off(X) == pytest.approx(relative_off(10.0 * X))
+
+    def test_relative_off_handles_zero_columns(self):
+        X = np.zeros((4, 3))
+        X[0, 0] = 1.0
+        assert relative_off(X) == 0.0
+
+    def test_quadratic_rate_detects_quadratic(self):
+        seq = [1.0, 0.5, 1e-3, 1e-6, 1e-12]
+        assert quadratic_rate_ok(seq)
+
+    def test_quadratic_rate_trivial_sequences(self):
+        assert quadratic_rate_ok([])
+        assert quadratic_rate_ok([1e-15])
+
+
+class TestDistribution:
+    def test_next_admissible_power_of_two(self):
+        assert next_admissible_width(5) == 8
+        assert next_admissible_width(8) == 8
+        assert next_admissible_width(3) == 4
+        assert next_admissible_width(2) == 4  # tree orderings need >= 4
+
+    def test_next_admissible_even(self):
+        assert next_admissible_width(5, power_of_two=False) == 6
+        assert next_admissible_width(6, power_of_two=False) == 6
+
+    def test_pad_preserves_content(self, rng):
+        a = rng.standard_normal((6, 5))
+        padded, orig = pad_columns(a)
+        assert orig == 5
+        assert np.array_equal(padded[:, :5], a)
+
+    def test_pad_copy_semantics(self, rng):
+        a = rng.standard_normal((6, 8))
+        padded, _ = pad_columns(a)
+        padded[0, 0] = 999.0
+        assert a[0, 0] != 999.0
+
+    def test_leaf_layout(self):
+        assert leaf_layout(6) == [(0, 0), (0, 1), (1, 2), (1, 3), (2, 4), (2, 5)]

@@ -1,0 +1,268 @@
+"""Integration suite: every claim the paper makes, asserted end to end.
+
+Each test cites the section of the paper whose statement it verifies.
+This is the contract EXPERIMENTS.md reports against.
+"""
+
+import numpy as np
+import pytest
+
+from repro import JacobiOptions, jacobi_svd, parallel_svd
+from repro.analysis import (
+    comm_cost_table,
+    contention_table,
+    convergence_table,
+    per_level_contention,
+    ring_round_robin_equivalence,
+)
+from repro.machine import make_topology
+from repro.orderings import (
+    FatTreeOrdering,
+    HybridOrdering,
+    LLBOrdering,
+    RingOrdering,
+    check_all_pairs_once,
+    check_one_directional,
+    make_ordering,
+    meeting_gap_profile,
+    sweep_message_counts,
+)
+from repro.svd.convergence import quadratic_rate_ok
+
+from tests.helpers import make_graded
+
+
+class TestSection1Claims:
+    """Hestenes method, sweeps, convergence, sorted singular values."""
+
+    def test_sweep_is_n_choose_2_rotations(self):
+        # "each sweep consisting of n(n-1)/2 rotations"
+        for name in ("fat_tree", "ring_new", "round_robin"):
+            sched = make_ordering(name, 16).sweep(0)
+            assert sum(len(s.pairs) for s in sched.steps) == 16 * 15 // 2
+
+    def test_quadratic_convergence(self, rng):
+        # "the convergence rate is ultimately quadratic"
+        a = make_graded(48, 32, rng, lo=1e-2)
+        r = jacobi_svd(a, ordering="fat_tree")
+        assert quadratic_rate_ok([h.off_norm for h in r.history])
+
+    def test_singular_values_emerge_sorted(self, rng):
+        # "the singular values emerge sorted in decreasing order of size"
+        a = rng.standard_normal((24, 16))
+        r = jacobi_svd(a, ordering="fat_tree")
+        assert r.emerged_sorted == "desc"
+
+    def test_termination_rule_requires_no_interchanges(self, rng):
+        # "terminates if one complete sweep occurs in which all columns
+        # are orthogonal and no columns are interchanged"
+        a = rng.standard_normal((24, 16))
+        r = jacobi_svd(a, ordering="ring_new")
+        assert r.converged
+        # and convergence is genuine: columns of the Gram matrix clean
+        assert np.max(np.abs(r.sigma - np.linalg.svd(a, compute_uv=False))) < 1e-11
+
+    def test_rank_deficient_svd(self, rng):
+        # "r <= n is the rank of A" with normalised nonzero columns
+        a = rng.standard_normal((20, 8))
+        a[:, 6] = a[:, 0] + a[:, 1]
+        a[:, 7] = 0.0
+        r = jacobi_svd(a)
+        assert r.rank == 6
+        assert np.all(r.sigma[6:] < 1e-10)
+
+
+class TestSection3FatTree:
+    """The fat-tree ordering's advertised advantages over LLB [8]."""
+
+    @pytest.mark.parametrize("n", [8, 16, 32, 64])
+    def test_single_procedure_per_sweep_and_order_kept(self, n):
+        # "Only one procedure is required for every sweep, and the
+        # original order of the indices is maintained after the
+        # completion of each sweep"
+        o = FatTreeOrdering(n)
+        assert o.sweep(0) is o.sweep(1)
+        assert o.restoration_period() == 1
+
+    def test_llb_needs_two_procedures(self):
+        o = LLBOrdering(16)
+        assert o.sweep(0) is not o.sweep(1)
+        assert o.restoration_period() == 2
+
+    def test_constant_rotation_gap_vs_llb(self):
+        # LLB disadvantage 1: variable number of rotations between any
+        # fixed pair; the fat-tree ordering's gap is exactly one sweep
+        fat = meeting_gap_profile(FatTreeOrdering(16), n_sweeps=4)
+        llb = meeting_gap_profile(LLBOrdering(16), n_sweeps=4)
+        assert fat["spread"] == 0
+        assert fat["mean"] == 15
+        assert llb["spread"] > 0
+
+    def test_comm_cost_about_same_as_llb(self):
+        # "The communication cost is about the same as for the ordering
+        # of [8]" — within a factor ~1.5 in total messages
+        rows = {r.ordering: r for r in comm_cost_table(32, names=["fat_tree", "llb"])}
+        ratio = rows["fat_tree"].total_messages / rows["llb"].total_messages
+        assert 0.75 < ratio < 1.5
+
+    def test_global_communication_minimised(self):
+        # level-r traffic halves as r grows: locality matches capacity
+        hist = FatTreeOrdering(64).sweep(0).level_histogram()
+        for r in range(1, max(hist)):
+            assert hist[r + 1] <= hist[r]
+
+    def test_divide_into_size_two_problems(self):
+        # "we always divide a large problem into a number of problems of
+        # size two in order to minimise the total communication cost":
+        # nearest-neighbour messages are by far the largest class and the
+        # mean communication level stays below 2 at any machine size
+        hist = FatTreeOrdering(64).sweep(0).level_histogram()
+        assert hist[1] >= 1.9 * hist[2]
+        total = sum(hist.values())
+        mean = sum(k * v for k, v in hist.items()) / total
+        assert mean < 2.0
+
+
+class TestSection4Ring:
+    """The new ring ordering's Section 4 statements."""
+
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_one_direction_throughout(self, n):
+        # "the messages travel between processors in only one direction
+        # throughout the computation"
+        assert check_one_directional(RingOrdering(n).sweep(0))
+
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_positions_of_first_pair_unchanged(self, n):
+        # "After a sweep the positions of indices 1 and 2 are unchanged"
+        final = RingOrdering(n).sweep(0).final_layout()
+        assert final[:2] == [1, 2]
+
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_restored_after_two_sweeps(self, n):
+        # "all the indices will return to their original positions after
+        # another sweep with the same procedure"
+        assert RingOrdering(n).restoration_period() == 2
+
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    @pytest.mark.parametrize("modified", [False, True])
+    def test_equivalent_to_round_robin(self, n, modified):
+        # Definition 1 + "our ring ordering is equivalent to the
+        # round-robin ordering in Fig 1(b)"
+        assert ring_round_robin_equivalence(n, modified).verified
+
+    def test_equivalent_orderings_converge_alike(self, rng):
+        # "If two orderings are proved to be equivalent, they will have
+        # the same convergence properties."
+        sweeps = {}
+        for name in ("round_robin", "ring_new"):
+            counts = []
+            r2 = np.random.default_rng(99)
+            for _ in range(4):
+                a = r2.standard_normal((24, 16))
+                counts.append(jacobi_svd(a, ordering=name).sweeps)
+            sweeps[name] = np.mean(counts)
+        assert abs(sweeps["round_robin"] - sweeps["ring_new"]) <= 1.5
+
+    def test_ring_sorted_nonincreasing_after_even_sweeps(self, rng):
+        # run an even number of sweeps explicitly and inspect slot order
+        a = rng.standard_normal((24, 16))
+        r = jacobi_svd(a, ordering="ring_new", options=JacobiOptions(max_sweeps=8, tol=1e-13))
+        if r.sweeps % 2 == 0:
+            assert np.all(np.diff(r.sigma_by_slot) <= 1e-9)
+
+    def test_modified_ring_direction_flips_with_parity(self, rng):
+        # Fig 8: "nonincreasing order after an even number of sweeps, but
+        # nondecreasing order after an odd number of sweeps"
+        a = rng.standard_normal((24, 16))
+        for max_sweeps in (5, 6, 7, 8):
+            r = jacobi_svd(
+                a, ordering="ring_modified",
+                options=JacobiOptions(max_sweeps=max_sweeps, tol=1e-13),
+            )
+            if not r.converged:
+                continue
+            if r.sweeps % 2 == 0:
+                assert r.emerged_sorted == "desc"
+            else:
+                assert r.emerged_sorted == "asc"
+
+    def test_evenly_distributed_messages(self):
+        # one message per processor per step
+        counts = sweep_message_counts(RingOrdering(32).sweep(0))
+        assert set(list(counts.values())[:-1]) == {16}
+
+
+class TestSection5Hybrid:
+    """The hybrid ordering and its contention-freedom on the CM-5."""
+
+    def test_hybrid_contention_free_on_cm5(self):
+        # "it is guaranteed that no contention will occur anywhere in
+        # the tree" (block size chosen against channel capacity)
+        for n in (32, 64):
+            o = HybridOrdering(n)  # default: blocks of 4 columns
+            prof = per_level_contention(o.sweep(0), make_topology("cm5", n // 2))
+            assert all(v <= 1.0 for v in prof.values()), (n, prof)
+
+    def test_fat_tree_contends_on_cm5(self):
+        # "contention will occur if our fat-tree ordering is implemented
+        # on such an architecture"
+        prof = per_level_contention(
+            FatTreeOrdering(64).sweep(0), make_topology("cm5", 32)
+        )
+        assert max(prof.values()) > 1.0
+
+    def test_contention_grows_with_machine_size_for_fat_tree(self):
+        worst = []
+        for n in (16, 64, 256):
+            prof = per_level_contention(
+                FatTreeOrdering(n).sweep(0), make_topology("cm5", n // 2)
+            )
+            worst.append(max(prof.values()))
+        assert worst[0] <= worst[1] <= worst[2]
+        assert worst[2] > worst[0]
+
+    def test_hybrid_restored_after_two_sweeps(self):
+        # "the order of the indices will be restored after two
+        # consecutive sweeps of the ring ordering"
+        assert HybridOrdering(32, 4).restoration_period() == 2
+
+    def test_hybrid_optimal_step_count(self):
+        assert HybridOrdering(64, 8).sweep(0).n_rotation_steps == 63
+
+    def test_hybrid_fewer_global_comms_than_ring(self):
+        # conclusion: the hybrid "reduces the number of global
+        # communications required by the ring orderings" — compare count
+        # of phases that reach the top level
+        n = 64
+        top = 5
+        def top_phases(name, **kw):
+            sched = make_ordering(name, n, **kw).sweep(0)
+            return sum(
+                1 for step in sched.steps
+                if any(m.level == top for m in step.moves)
+            )
+        assert top_phases("hybrid", n_groups=8) < top_phases("ring_new")
+
+
+class TestConclusionTimings:
+    """Section 6: who should win where, on the simulated machine."""
+
+    def test_hybrid_beats_fat_tree_on_cm5(self, rng):
+        a = rng.standard_normal((48, 32))
+        _, rep_h = parallel_svd(a, topology="cm5", ordering="hybrid", n_groups=8)
+        _, rep_f = parallel_svd(a, topology="cm5", ordering="fat_tree")
+        assert rep_h.comm_time <= rep_f.comm_time
+
+    def test_fat_tree_improves_with_capacity(self, rng):
+        # "If communication-handling capability is increased, then our
+        # fat-tree ordering will become more attractive"
+        a = rng.standard_normal((48, 32))
+        _, rep_cm5 = parallel_svd(a, topology="cm5", ordering="fat_tree")
+        _, rep_perfect = parallel_svd(a, topology="perfect", ordering="fat_tree")
+        assert rep_perfect.comm_time <= rep_cm5.comm_time
+
+    def test_everything_converges_everywhere(self, rng):
+        rows = convergence_table(n=16, runs=2)
+        for r in rows:
+            assert r.converged_runs == r.runs

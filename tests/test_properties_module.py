@@ -1,0 +1,121 @@
+"""Tests for the ordering property validators themselves."""
+
+import pytest
+
+from repro.orderings.oddeven import odd_even_sweep
+from repro.orderings.properties import (
+    check_all_pairs_once,
+    check_local_pairs,
+    check_one_directional,
+    find_relabelling,
+    relabelling_equivalent,
+    sweep_message_counts,
+)
+from repro.orderings.roundrobin import round_robin_sweep
+from repro.orderings.schedule import Move, Schedule, Step
+
+
+def broken_schedule(n: int = 4) -> Schedule:
+    """A deliberately invalid 'sweep': repeats a pair, misses others."""
+    steps = [Step(pairs=((0, 1), (2, 3))), Step(pairs=((0, 1), (2, 3)))]
+    return Schedule(n=n, steps=steps)
+
+
+class TestValidity:
+    def test_detects_duplicates_and_missing(self):
+        rep = check_all_pairs_once(broken_schedule())
+        assert not rep.is_valid
+        assert frozenset((1, 2)) in rep.duplicates
+        assert frozenset((1, 3)) in rep.missing
+
+    def test_counts(self):
+        rep = check_all_pairs_once(round_robin_sweep(8))
+        assert rep.n_pairs_expected == 28
+        assert rep.n_pairs_seen == 28
+
+    def test_custom_layout_universe(self):
+        rep = check_all_pairs_once(round_robin_sweep(4), layout=[10, 20, 30, 40])
+        assert rep.is_valid
+
+    def test_bool_protocol(self):
+        assert bool(check_all_pairs_once(round_robin_sweep(4)))
+        assert not bool(check_all_pairs_once(broken_schedule()))
+
+
+class TestLocality:
+    def test_local_schedule(self):
+        assert check_local_pairs(round_robin_sweep(8))
+
+    def test_remote_pair_detected(self):
+        s = Schedule(n=4, steps=[Step(pairs=((1, 2),))])
+        assert not check_local_pairs(s)
+
+
+class TestOneDirectional:
+    def test_static_schedule_trivially_one_directional(self):
+        s = Schedule(n=4, steps=[Step(pairs=((0, 1), (2, 3)))])
+        assert check_one_directional(s)
+
+    def test_mixed_directions_rejected(self):
+        s = Schedule(
+            n=8,
+            steps=[
+                Step(pairs=(), moves=(Move(1, 2), Move(2, 1))),  # 0->1 and 1->0
+            ],
+        )
+        assert not check_one_directional(s)
+
+    def test_long_jump_rejected(self):
+        s = Schedule(
+            n=8,
+            steps=[Step(pairs=(), moves=(Move(0, 4), Move(4, 0)))],  # leaf 0 <-> 2
+        )
+        assert not check_one_directional(s)
+
+    def test_consistent_backward_direction_accepted(self):
+        # all moves leaf i -> i-1 (mod P) is also one-directional
+        s = Schedule(
+            n=8,
+            steps=[
+                Step(pairs=(), moves=(Move(2, 0), Move(0, 6), Move(6, 4), Move(4, 2))),
+            ],
+        )
+        assert check_one_directional(s)
+
+
+class TestMessageCounts:
+    def test_counts_exclude_local_moves(self):
+        s = Schedule(
+            n=4,
+            steps=[Step(pairs=(), moves=(Move(0, 1), Move(1, 0), Move(2, 3), Move(3, 2)))],
+        )
+        assert sweep_message_counts(s) == {1: 0}
+
+    def test_per_step_keys(self):
+        counts = sweep_message_counts(round_robin_sweep(8))
+        assert sorted(counts) == list(range(1, 8))
+
+
+class TestEquivalence:
+    def test_identity_relabelling(self):
+        s = round_robin_sweep(8)
+        ident = {i: i for i in range(1, 9)}
+        assert relabelling_equivalent(s, s, ident)
+
+    def test_wrong_mapping_rejected(self):
+        s = round_robin_sweep(8)
+        swapped = {i: i for i in range(1, 9)}
+        swapped[1], swapped[2] = 2, 1
+        # swapping 1 and 2 keeps step sets identical only if they always
+        # appear as a pair together — they do not after step 1
+        assert not relabelling_equivalent(s, s, swapped)
+
+    def test_non_equivalent_orderings(self):
+        # odd-even has n steps, round-robin n-1: cannot be equivalent
+        assert find_relabelling(odd_even_sweep(8), round_robin_sweep(8)) is None
+
+    def test_find_relabelling_on_self(self):
+        s = round_robin_sweep(8)
+        mapping = find_relabelling(s, s)
+        assert mapping is not None
+        assert relabelling_equivalent(s, s, mapping)

@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These exercise the library on generated sizes and matrices rather than
+hand-picked cases: ordering validity and restoration across the size
+range, rotation invariants on arbitrary column data, move composition
+algebra and SVD backward-stability on random well-posed inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.orderings import (
+    check_all_pairs_once,
+    check_local_pairs,
+    check_one_directional,
+    make_ordering,
+)
+from repro.orderings.schedule import Move, apply_moves, compose_moves
+from repro.svd import jacobi_svd
+from repro.svd.rotations import apply_step_rotations, rotation_params
+
+# sizes are powers of two within the figure range; ring orderings accept
+# any even size
+pow2_sizes = st.sampled_from([4, 8, 16, 32])
+even_sizes = st.sampled_from([4, 6, 8, 10, 12, 16, 20, 24, 32])
+
+
+class TestOrderingInvariants:
+    @settings(deadline=None, max_examples=20)
+    @given(n=even_sizes)
+    def test_ring_valid_any_even_size(self, n):
+        sched = make_ordering("ring_new", n).sweep(0)
+        assert check_all_pairs_once(sched).is_valid
+        assert check_local_pairs(sched)
+        assert check_one_directional(sched)
+
+    @settings(deadline=None, max_examples=20)
+    @given(n=even_sizes)
+    def test_round_robin_valid_any_even_size(self, n):
+        assert check_all_pairs_once(make_ordering("round_robin", n).sweep(0)).is_valid
+
+    @settings(deadline=None, max_examples=10)
+    @given(n=pow2_sizes)
+    def test_fat_tree_identity_permutation(self, n):
+        o = make_ordering("fat_tree", n)
+        sched = o.sweep(0)
+        assert check_all_pairs_once(sched).is_valid
+        assert sched.final_layout() == list(range(1, n + 1))
+
+    @settings(deadline=None, max_examples=10)
+    @given(n=pow2_sizes, start=st.sampled_from([1, 17, 101]))
+    def test_validity_independent_of_labelling(self, n, start):
+        # relabelling invariance: any initial layout yields a valid sweep
+        layout = list(range(start, start + n))
+        sched = make_ordering("fat_tree", n).sweep(0)
+        assert check_all_pairs_once(sched, layout=layout).is_valid
+
+
+class TestMoveAlgebra:
+    @settings(deadline=None, max_examples=50)
+    @given(data=st.data(), n=st.integers(4, 12))
+    def test_compose_matches_sequential(self, data, n):
+        perm1 = data.draw(st.permutations(range(n)))
+        perm2 = data.draw(st.permutations(range(n)))
+        m1 = tuple(Move(s, d) for s, d in enumerate(perm1) if s != d)
+        m2 = tuple(Move(s, d) for s, d in enumerate(perm2) if s != d)
+        payload = list(range(100, 100 + n))
+        seq = apply_moves(apply_moves(payload, m1), m2)
+        assert apply_moves(payload, compose_moves(m1, m2)) == seq
+
+    @settings(deadline=None, max_examples=30)
+    @given(data=st.data(), n=st.integers(4, 10))
+    def test_compose_with_inverse_is_identity(self, data, n):
+        perm = data.draw(st.permutations(range(n)))
+        m = tuple(Move(s, d) for s, d in enumerate(perm) if s != d)
+        inv = tuple(Move(mv.dst, mv.src) for mv in m)
+        assert compose_moves(m, inv) == ()
+
+
+class TestRotationInvariants:
+    @settings(deadline=None, max_examples=50)
+    @given(
+        seed=st.integers(0, 10_000),
+        m=st.integers(2, 20),
+    )
+    def test_rotation_orthogonalises_and_preserves_norms(self, seed, m):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(m)
+        y = rng.standard_normal(m)
+        a, b, g = x @ x, y @ y, x @ y
+        c, s = rotation_params(np.array([a]), np.array([b]), np.array([g]))
+        xn = c[0] * x - s[0] * y
+        yn = s[0] * x + c[0] * y
+        scale = max(1.0, abs(g))
+        assert abs(xn @ yn) < 1e-9 * scale
+        assert xn @ xn + yn @ yn == pytest.approx(a + b, rel=1e-12)
+
+    @settings(deadline=None, max_examples=25)
+    @given(seed=st.integers(0, 10_000))
+    def test_step_preserves_frobenius_and_reduces_off(self, seed):
+        from repro.svd.convergence import off_norm
+
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((10, 8))
+        f = np.linalg.norm(X)
+        before = off_norm(X)
+        apply_step_rotations(
+            X, None, np.arange(0, 8, 2), np.arange(1, 8, 2), 0.0, "desc"
+        )
+        assert np.linalg.norm(X) == pytest.approx(f, rel=1e-12)
+        assert off_norm(X) <= before + 1e-9
+
+
+class TestSVDBackwardStability:
+    @settings(deadline=None, max_examples=10)
+    @given(
+        seed=st.integers(0, 1_000),
+        n=st.sampled_from([4, 8, 16]),
+        extra=st.integers(0, 8),
+    )
+    def test_matches_lapack_on_random_input(self, seed, n, extra):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n + extra, n))
+        r = jacobi_svd(a, ordering="fat_tree")
+        ref = np.linalg.svd(a, compute_uv=False)
+        assert r.converged
+        scale = ref[0] if ref[0] > 0 else 1.0
+        assert np.max(np.abs(r.sigma - ref)) < 1e-11 * scale
+
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(0, 1_000))
+    def test_scaling_equivariance(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((12, 8))
+        r1 = jacobi_svd(a)
+        r2 = jacobi_svd(1000.0 * a)
+        assert np.allclose(r2.sigma, 1000.0 * r1.sigma, rtol=1e-10)
+
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(0, 1_000))
+    def test_orthogonal_invariance_of_sigma(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((12, 8))
+        q, _ = np.linalg.qr(rng.standard_normal((12, 12)))
+        r1 = jacobi_svd(a)
+        r2 = jacobi_svd(q @ a)
+        assert np.allclose(np.sort(r1.sigma), np.sort(r2.sigma), atol=1e-10)

@@ -1,0 +1,77 @@
+"""Property-based tests for the extension subsystems (eig, block, apps)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import pinv, truncated_svd
+from repro.blockjacobi import BlockJacobiOptions, block_jacobi_svd
+from repro.eig import jacobi_eigh
+
+
+class TestEigProperties:
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(0, 1_000), n=st.sampled_from([4, 8, 16]))
+    def test_spectrum_matches_eigh(self, seed, n):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n))
+        a = (a + a.T) / 2.0
+        r = jacobi_eigh(a)
+        ref = np.linalg.eigvalsh(a)[::-1]
+        assert r.converged
+        scale = max(1.0, float(np.abs(ref).max()))
+        assert np.max(np.abs(r.w - ref)) < 1e-10 * scale
+
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(0, 1_000))
+    def test_trace_and_frobenius_invariants(self, seed):
+        # similarity transforms preserve trace and Frobenius norm
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((8, 8))
+        a = (a + a.T) / 2.0
+        r = jacobi_eigh(a)
+        assert np.sum(r.w) == pytest.approx(np.trace(a), rel=1e-10, abs=1e-10)
+        assert np.sum(r.w**2) == pytest.approx(np.sum(a * a), rel=1e-10)
+
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(0, 1_000), shift=st.floats(-5.0, 5.0))
+    def test_shift_equivariance(self, seed, shift):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((8, 8))
+        a = (a + a.T) / 2.0
+        w1 = jacobi_eigh(a).w
+        w2 = jacobi_eigh(a + shift * np.eye(8)).w
+        assert np.allclose(np.sort(w2), np.sort(w1) + shift, atol=1e-9)
+
+
+class TestBlockJacobiProperties:
+    @settings(deadline=None, max_examples=8)
+    @given(
+        seed=st.integers(0, 1_000),
+        b=st.sampled_from([1, 2, 4]),
+    )
+    def test_block_size_invariance_of_spectrum(self, seed, b):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((24, 16))
+        r = block_jacobi_svd(a, options=BlockJacobiOptions(block_size=b))
+        ref = np.linalg.svd(a, compute_uv=False)
+        assert r.converged
+        assert np.max(np.abs(r.sigma - ref)) < 1e-10 * ref[0]
+
+
+class TestAppsProperties:
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(0, 1_000), k=st.integers(1, 6))
+    def test_truncation_error_monotone_in_k(self, seed, k):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((12, 6))
+        e_k = truncated_svd(a, k).error
+        e_full = truncated_svd(a, 6).error
+        assert e_full <= e_k + 1e-12
+
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(0, 1_000))
+    def test_pinv_double_dagger(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((10, 6))
+        assert np.allclose(pinv(pinv(a)), a, atol=1e-8)

@@ -1,0 +1,133 @@
+"""Unit tests for the plane-rotation kernels."""
+
+import numpy as np
+import pytest
+
+from repro.svd.rotations import apply_step_rotations, rotation_params
+
+
+class TestRotationParams:
+    def test_identity_when_gamma_zero(self):
+        c, s = rotation_params(np.array([2.0]), np.array([3.0]), np.array([0.0]))
+        assert c[0] == 1.0 and s[0] == 0.0
+
+    def test_orthogonalises(self):
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            x = rng.standard_normal(6)
+            y = rng.standard_normal(6)
+            a, b, g = x @ x, y @ y, x @ y
+            c, s = rotation_params(np.array([a]), np.array([b]), np.array([g]))
+            xn = c[0] * x - s[0] * y
+            yn = s[0] * x + c[0] * y
+            assert abs(xn @ yn) < 1e-10 * max(1.0, abs(g))
+
+    def test_forty_five_degrees_when_equal_norms(self):
+        x = np.array([1.0, 1.0])
+        y = np.array([1.0, -1.0 + 2.0])  # y = (1, 1)? keep equal norms
+        y = np.array([1.0, 1.0])
+        a, b, g = 2.0, 2.0, 2.0
+        c, s = rotation_params(np.array([a]), np.array([b]), np.array([g]))
+        assert c[0] == pytest.approx(s[0])
+
+    def test_norm_preservation(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal(5)
+        y = rng.standard_normal(5)
+        a, b, g = x @ x, y @ y, x @ y
+        c, s = rotation_params(np.array([a]), np.array([b]), np.array([g]))
+        xn = c[0] * x - s[0] * y
+        yn = s[0] * x + c[0] * y
+        assert xn @ xn + yn @ yn == pytest.approx(a + b)
+
+    def test_vectorised_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        a = rng.uniform(0.5, 2.0, 10)
+        b = rng.uniform(0.5, 2.0, 10)
+        g = rng.uniform(-0.5, 0.5, 10)
+        c, s = rotation_params(a, b, g)
+        for i in range(10):
+            ci, si = rotation_params(a[i:i+1], b[i:i+1], g[i:i+1])
+            assert ci[0] == pytest.approx(c[i])
+            assert si[0] == pytest.approx(s[i])
+
+
+class TestApplyStepRotations:
+    def test_orthogonalises_pairs(self, rng):
+        X = rng.standard_normal((10, 6))
+        left = np.array([0, 2, 4])
+        right = np.array([1, 3, 5])
+        apply_step_rotations(X, None, left, right, 0.0, None)
+        for l, r in zip(left, right):
+            assert abs(X[:, l] @ X[:, r]) < 1e-10
+
+    def test_empty_pairs_noop(self, rng):
+        X = rng.standard_normal((4, 2))
+        before = X.copy()
+        st, mx = apply_step_rotations(X, None, np.array([], dtype=np.intp),
+                                      np.array([], dtype=np.intp), 0.0, None)
+        assert np.array_equal(X, before)
+        assert mx == 0.0 and st.applied == 0
+
+    def test_threshold_skips(self, rng):
+        # two already-orthogonal columns: no rotation, counted as skipped
+        X = np.eye(4)[:, :2] * 2.0
+        st, mx = apply_step_rotations(X, None, np.array([0]), np.array([1]), 1e-12, None)
+        assert st.applied == 0 and st.skipped == 1
+        assert mx <= 1e-12
+
+    def test_sort_desc_places_larger_left(self, rng):
+        X = rng.standard_normal((12, 8))
+        left = np.arange(0, 8, 2)
+        right = np.arange(1, 8, 2)
+        apply_step_rotations(X, None, left, right, 0.0, "desc")
+        norms = np.linalg.norm(X, axis=0)
+        assert np.all(norms[left] >= norms[right] - 1e-12)
+
+    def test_sort_asc_places_smaller_left(self, rng):
+        X = rng.standard_normal((12, 8))
+        left = np.arange(0, 8, 2)
+        right = np.arange(1, 8, 2)
+        apply_step_rotations(X, None, left, right, 0.0, "asc")
+        norms = np.linalg.norm(X, axis=0)
+        assert np.all(norms[left] <= norms[right] + 1e-12)
+
+    def test_v_tracks_rotations(self, rng):
+        A = rng.standard_normal((10, 6))
+        X = A.copy()
+        V = np.eye(6)
+        left = np.array([0, 2, 4])
+        right = np.array([1, 3, 5])
+        apply_step_rotations(X, V, left, right, 0.0, "desc")
+        # X must equal A @ V at all times
+        assert np.allclose(X, A @ V)
+
+    def test_idle_exchange_counted(self):
+        # orthogonal columns in the 'wrong' norm order get exchanged
+        X = np.zeros((4, 2))
+        X[0, 0] = 1.0   # small norm left
+        X[1, 1] = 5.0   # large norm right
+        st, _ = apply_step_rotations(X, None, np.array([0]), np.array([1]), 1e-12, "desc")
+        assert st.exchanged == 1
+        assert np.linalg.norm(X[:, 0]) > np.linalg.norm(X[:, 1])
+
+    def test_no_exchange_when_sorted(self):
+        X = np.zeros((4, 2))
+        X[0, 0] = 5.0
+        X[1, 1] = 1.0
+        st, _ = apply_step_rotations(X, None, np.array([0]), np.array([1]), 1e-12, "desc")
+        assert st.exchanged == 0
+
+    def test_gram_off_mass_decreases(self, rng):
+        from repro.svd.convergence import off_norm
+
+        X = rng.standard_normal((16, 8))
+        before = off_norm(X)
+        apply_step_rotations(X, None, np.arange(0, 8, 2), np.arange(1, 8, 2), 0.0, "desc")
+        assert off_norm(X) <= before + 1e-12
+
+    def test_frobenius_norm_invariant(self, rng):
+        X = rng.standard_normal((16, 8))
+        f = np.linalg.norm(X)
+        apply_step_rotations(X, None, np.arange(0, 8, 2), np.arange(1, 8, 2), 0.0, "desc")
+        assert np.linalg.norm(X) == pytest.approx(f)

@@ -1,0 +1,87 @@
+"""Unit tests for routing, contention accounting and the cost model."""
+
+import pytest
+
+from repro.machine.costmodel import CostModel
+from repro.machine.routing import route_phase
+from repro.machine.topology import BinaryTree, CM5Tree, PerfectFatTree
+
+
+class TestRoutePhase:
+    def test_empty_phase(self):
+        ph = route_phase(PerfectFatTree(8), [])
+        assert ph.n_messages == 0
+        assert ph.contention == 0.0
+        assert ph.is_contention_free
+
+    def test_self_messages_ignored(self):
+        ph = route_phase(PerfectFatTree(8), [(3, 3), (5, 5)])
+        assert ph.n_messages == 0
+
+    def test_single_message_loads_path(self):
+        t = PerfectFatTree(8)
+        ph = route_phase(t, [(0, 7)])
+        assert ph.n_messages == 1
+        assert ph.max_level == 3
+        assert len(ph.channel_loads) == 6
+        assert all(v == 1 for v in ph.channel_loads.values())
+
+    def test_level_counts(self):
+        ph = route_phase(PerfectFatTree(8), [(0, 1), (2, 3), (0, 2)])
+        assert ph.level_message_counts == {1: 2, 2: 1}
+
+    def test_contention_on_binary_tree(self):
+        # 4 messages crossing the root of a binary tree: load 4, cap 1
+        t = BinaryTree(8)
+        msgs = [(i, i + 4) for i in range(4)]
+        ph = route_phase(t, msgs)
+        assert ph.contention == 4.0
+        assert not ph.is_contention_free
+        assert ph.hot_channel.level == 3
+
+    def test_same_phase_free_on_perfect(self):
+        t = PerfectFatTree(8)
+        msgs = [(i, i + 4) for i in range(4)]
+        ph = route_phase(t, msgs)
+        assert ph.contention == 1.0
+        assert ph.is_contention_free
+
+    def test_cm5_intermediate(self):
+        t = CM5Tree(16)
+        msgs = [(i, i + 8) for i in range(8)]
+        ph = route_phase(t, msgs)
+        # 8 messages through a level-4 channel of capacity 4
+        assert ph.contention == 2.0
+
+
+class TestCostModel:
+    def test_compute_time_scales_with_rows(self):
+        cm = CostModel(flop_time=1.0)
+        assert cm.compute_time(1, 10) == 100.0
+        assert cm.compute_time(2, 10) == 200.0
+
+    def test_comm_time_zero_without_messages(self):
+        cm = CostModel()
+        ph = route_phase(PerfectFatTree(8), [])
+        assert cm.comm_time(ph, 100) == 0.0
+
+    def test_comm_time_contention_rounds(self):
+        cm = CostModel(alpha=0.0, beta=1.0, hop_time=0.0)
+        t = BinaryTree(8)
+        free = route_phase(t, [(0, 1)])
+        congested = route_phase(t, [(i, i + 4) for i in range(4)])
+        assert cm.comm_time(congested, 10) == pytest.approx(4 * cm.comm_time(free, 10))
+
+    def test_alpha_charged_once_per_phase(self):
+        cm = CostModel(alpha=7.0, beta=0.0, hop_time=0.0)
+        ph = route_phase(PerfectFatTree(8), [(0, 1), (2, 3)])
+        assert cm.comm_time(ph, 1000) == 7.0
+
+    def test_hop_latency_scales_with_level(self):
+        cm = CostModel(alpha=0.0, beta=0.0, hop_time=1.0)
+        near = route_phase(PerfectFatTree(8), [(0, 1)])
+        far = route_phase(PerfectFatTree(8), [(0, 7)])
+        assert cm.comm_time(far, 1) == 3 * cm.comm_time(near, 1)
+
+    def test_rotation_flops(self):
+        assert CostModel().rotation_flops(100) == 1000

@@ -1,0 +1,44 @@
+"""Tests of the machine-scaling experiment (TAB-SCALE)."""
+
+import pytest
+
+from repro.analysis import render_scaling_table, scaling_table
+
+
+class TestScalingTable:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return scaling_table(sizes=[16, 32, 64], m=64)
+
+    def test_row_grid(self, rows):
+        assert len(rows) == 3 * 4  # sizes x orderings
+        assert {r.n for r in rows} == {16, 32, 64}
+
+    def test_times_positive_and_decompose(self, rows):
+        for r in rows:
+            assert r.sweep_time > 0
+            assert r.sweep_time == pytest.approx(r.compute_time + r.comm_time)
+            assert 0.0 <= r.comm_fraction <= 1.0
+
+    def test_communication_bound_regime(self, rows):
+        # the Section-2 observation: parallel sweeps here are comm-bound
+        assert all(r.comm_fraction > 0.5 for r in rows)
+
+    def test_fat_tree_contention_trend_on_cm5(self, rows):
+        fat = sorted((r.n, r.max_contention) for r in rows if r.ordering == "fat_tree")
+        assert fat[-1][1] >= fat[0][1]
+
+    def test_hybrid_contention_free_at_all_sizes(self, rows):
+        assert all(r.max_contention <= 1.0 for r in rows if r.ordering == "hybrid")
+
+    def test_ring_contention_free_at_all_sizes(self, rows):
+        assert all(r.max_contention <= 1.0 for r in rows if r.ordering == "ring_new")
+
+    def test_render(self, rows):
+        text = render_scaling_table(rows)
+        assert "TAB-SCALE" in text and "fat_tree" in text
+
+    def test_perfect_tree_keeps_fat_tree_clean(self):
+        rows = scaling_table(sizes=[32], m=48, topology="perfect",
+                             names=["fat_tree"])
+        assert rows[0].max_contention <= 1.0

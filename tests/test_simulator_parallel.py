@@ -1,0 +1,149 @@
+"""Integration tests: the simulated machine and the parallel driver."""
+
+import numpy as np
+import pytest
+
+from repro.machine import CostModel, TreeMachine, make_topology
+from repro.orderings import make_ordering
+from repro.parallel import ParallelJacobiSVD, pad_columns, strip_padding
+from repro.svd import JacobiOptions, accuracy_report, jacobi_svd
+
+
+class TestTreeMachine:
+    def test_load_rejects_wrong_width(self, rng):
+        m = TreeMachine(make_topology("perfect", 8))
+        with pytest.raises(ValueError):
+            m.load(rng.standard_normal((8, 10)))
+
+    def test_requires_load_before_sweep(self):
+        m = TreeMachine(make_topology("perfect", 8))
+        with pytest.raises(ValueError):
+            m.run_sweep(make_ordering("fat_tree", 16).sweep(0))
+
+    def test_one_sweep_reduces_off_norm(self, rng):
+        from repro.svd.convergence import off_norm
+
+        a = rng.standard_normal((24, 16))
+        m = TreeMachine(make_topology("perfect", 8))
+        m.load(a)
+        before = off_norm(m.X)
+        m.run_sweep(make_ordering("fat_tree", 16).sweep(0))
+        assert off_norm(m.X) < before
+
+    def test_timeline_recorded(self, rng):
+        a = rng.standard_normal((24, 16))
+        m = TreeMachine(make_topology("cm5", 8))
+        m.load(a)
+        stats, _, _ = m.run_sweep(make_ordering("fat_tree", 16).sweep(0))
+        assert len(stats.steps) >= 15
+        assert stats.total_time > 0
+        assert stats.total_messages == make_ordering("fat_tree", 16).sweep(0).total_messages()
+
+    def test_machine_matches_serial_numerics(self, rng):
+        # bit-compatibility: the machine path and the serial driver apply
+        # identical kernels in identical order
+        a = rng.standard_normal((24, 16))
+        m = TreeMachine(make_topology("perfect", 8))
+        m.load(a)
+        sched = make_ordering("fat_tree", 16).sweep(0)
+        m.run_sweep(sched, tol=1e-12, sort="desc")
+
+        from repro.svd.hestenes import hestenes_sweeps
+        from repro.orderings import FatTreeOrdering
+
+        X = a.copy()
+        V = np.eye(16)
+
+        class OneSweep(FatTreeOrdering):
+            pass
+
+        o = OneSweep(16)
+        hestenes_sweeps(X, V, o, JacobiOptions(max_sweeps=1))
+        assert np.array_equal(m.X, X)
+        assert np.array_equal(m.V, V)
+
+    def test_column_norms(self, rng):
+        a = rng.standard_normal((10, 8))
+        m = TreeMachine(make_topology("perfect", 4))
+        m.load(a)
+        assert np.allclose(m.column_norms(), np.linalg.norm(a, axis=0))
+
+
+class TestParallelJacobiSVD:
+    @pytest.mark.parametrize("topology", ["perfect", "cm5", "binary"])
+    @pytest.mark.parametrize("ordering", ["fat_tree", "ring_new", "hybrid"])
+    def test_converges_and_matches_lapack(self, rng, topology, ordering):
+        a = rng.standard_normal((24, 16))
+        kw = {"n_groups": 4} if ordering == "hybrid" else {}
+        driver = ParallelJacobiSVD(topology=topology, ordering=ordering, **kw)
+        result, report = driver.compute(a)
+        assert result.converged
+        ref = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(result.sigma - ref)) < 1e-12 * ref[0]
+        assert report.total_time > 0
+
+    def test_matches_serial_driver_exactly(self, rng):
+        a = rng.standard_normal((24, 16))
+        serial = jacobi_svd(a, ordering="fat_tree")
+        par, _ = ParallelJacobiSVD(topology="perfect", ordering="fat_tree").compute(a)
+        assert np.array_equal(serial.sigma, par.sigma)
+        assert np.array_equal(serial.u, par.u)
+        assert np.array_equal(serial.v, par.v)
+        assert serial.sweeps == par.sweeps
+
+    def test_hybrid_contention_free_on_cm5(self, rng):
+        a = rng.standard_normal((48, 32))
+        driver = ParallelJacobiSVD(topology="cm5", ordering="hybrid", n_groups=8)
+        _, report = driver.compute(a)
+        assert report.contention_free
+
+    def test_fat_tree_contends_on_binary(self, rng):
+        a = rng.standard_normal((48, 32))
+        _, report = ParallelJacobiSVD(topology="binary", ordering="fat_tree").compute(a)
+        assert report.max_contention > 1.0
+
+    def test_telemetry_decomposes(self, rng):
+        a = rng.standard_normal((24, 16))
+        _, report = ParallelJacobiSVD(topology="cm5", ordering="fat_tree").compute(a)
+        assert report.total_time == pytest.approx(
+            report.compute_time + report.comm_time + report.reduction_time
+        )
+
+    def test_topology_size_mismatch_rejected(self, rng):
+        driver = ParallelJacobiSVD(topology=make_topology("perfect", 4), ordering="fat_tree")
+        with pytest.raises(ValueError):
+            driver.compute(rng.standard_normal((24, 16)))
+
+    def test_odd_width_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ParallelJacobiSVD().compute(rng.standard_normal((9, 7)))
+
+
+class TestPadding:
+    def test_pad_to_power_of_two(self, rng):
+        a = rng.standard_normal((10, 5))
+        padded, orig = pad_columns(a, power_of_two=True)
+        assert padded.shape == (10, 8)
+        assert orig == 5
+        assert np.array_equal(padded[:, :5], a)
+        assert np.all(padded[:, 5:] == 0)
+
+    def test_pad_even(self, rng):
+        a = rng.standard_normal((10, 5))
+        padded, orig = pad_columns(a, power_of_two=False)
+        assert padded.shape == (10, 6)
+
+    def test_no_pad_when_admissible(self, rng):
+        a = rng.standard_normal((10, 8))
+        padded, orig = pad_columns(a)
+        assert padded.shape == a.shape
+
+    def test_strip_padding_roundtrip(self, rng):
+        a = rng.standard_normal((12, 6))
+        padded, orig = pad_columns(a)
+        r = jacobi_svd(padded, allow_wide=True)
+        r = strip_padding(r, orig)
+        ref = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(r.sigma - ref)) < 1e-12 * ref[0]
+        assert r.u.shape == (12, 6)
+        assert np.linalg.norm(a - (r.u * r.sigma) @ r.v.T) < 1e-10

@@ -1,0 +1,85 @@
+"""Tests of the Wilkinson threshold strategies."""
+
+import numpy as np
+import pytest
+
+from repro.svd import (
+    FixedThreshold,
+    JacobiOptions,
+    StagedThreshold,
+    jacobi_svd,
+)
+
+
+class TestStrategyObjects:
+    def test_fixed_constant(self):
+        s = FixedThreshold(final_tol=1e-10)
+        assert s.threshold(0) == s.threshold(7) == 1e-10
+
+    def test_staged_decays_geometrically(self):
+        s = StagedThreshold(initial=1e-2, decay=1e-1, final_tol=1e-12)
+        assert s.threshold(0) == 1e-2
+        assert s.threshold(1) == pytest.approx(1e-3)
+        assert s.threshold(3) == pytest.approx(1e-5)
+
+    def test_staged_floors_at_final(self):
+        s = StagedThreshold(initial=1e-2, decay=1e-1, final_tol=1e-6)
+        assert s.threshold(50) == 1e-6
+
+    def test_staged_validates_decay(self):
+        with pytest.raises(ValueError):
+            StagedThreshold(decay=1.5)
+        with pytest.raises(ValueError):
+            StagedThreshold(decay=0.0)
+
+    def test_staged_validates_order(self):
+        with pytest.raises(ValueError):
+            StagedThreshold(initial=1e-14, final_tol=1e-12)
+
+
+class TestDriverIntegration:
+    def test_staged_converges_to_full_accuracy(self, rng):
+        a = rng.standard_normal((32, 16))
+        r = jacobi_svd(
+            a,
+            options=JacobiOptions(
+                threshold_strategy=StagedThreshold(initial=0.5, decay=0.05)
+            ),
+        )
+        assert r.converged
+        ref = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(r.sigma - ref)) < 1e-11 * ref[0]
+
+    def test_staged_skips_rotations_early(self, rng):
+        a = rng.standard_normal((48, 32))
+        fixed = jacobi_svd(a)
+        staged = jacobi_svd(
+            a,
+            options=JacobiOptions(
+                threshold_strategy=StagedThreshold(initial=0.5, decay=0.05)
+            ),
+        )
+        # the staged first sweep rotates strictly fewer pairs
+        assert staged.history[0].rotations < fixed.history[0].rotations
+
+    def test_termination_still_uses_final_tol(self, rng):
+        # a coarse schedule must not let the iteration stop early
+        a = rng.standard_normal((24, 16))
+        r = jacobi_svd(
+            a,
+            options=JacobiOptions(
+                tol=1e-12,
+                threshold_strategy=StagedThreshold(initial=1e-1, decay=0.5),
+            ),
+        )
+        assert r.converged
+        assert r.history[-1].max_rel_gamma <= 1e-12
+
+    def test_fixed_strategy_equals_default(self, rng):
+        a = rng.standard_normal((24, 16))
+        default = jacobi_svd(a)
+        explicit = jacobi_svd(
+            a, options=JacobiOptions(threshold_strategy=FixedThreshold(final_tol=1e-12))
+        )
+        assert default.sweeps == explicit.sweeps
+        assert np.array_equal(default.sigma, explicit.sigma)

@@ -1,0 +1,126 @@
+"""Unit tests for the tree topologies (Section 2)."""
+
+import pytest
+
+from repro.machine.topology import (
+    BinaryTree,
+    CM5Tree,
+    PerfectFatTree,
+    SkinnyFatTree,
+    make_topology,
+)
+
+
+class TestPerfectFatTree:
+    def test_capacity_doubles(self):
+        t = PerfectFatTree(16)
+        assert [t.capacity(k) for k in range(1, 5)] == [1, 2, 4, 8]
+
+    def test_constant_aggregate_bandwidth(self):
+        # "the overall communication bandwidth at each level is constant"
+        t = PerfectFatTree(32)
+        totals = {t.total_capacity(k) for k in range(1, t.n_levels + 1)}
+        assert len(totals) == 1
+
+    def test_levels(self):
+        assert PerfectFatTree(16).n_levels == 4
+        assert PerfectFatTree(1).n_levels == 0
+
+
+class TestBinaryTree:
+    def test_capacity_constant(self):
+        t = BinaryTree(16)
+        assert all(t.capacity(k) == 1 for k in range(1, 5))
+
+    def test_aggregate_bandwidth_halves(self):
+        t = BinaryTree(16)
+        assert t.total_capacity(1) == 16
+        assert t.total_capacity(4) == 2
+
+
+class TestSkinnyFatTree:
+    def test_perfect_below_cut(self):
+        t = SkinnyFatTree(32, skinny_above=3)
+        assert [t.capacity(k) for k in (1, 2, 3)] == [1, 2, 4]
+
+    def test_constant_above_cut(self):
+        t = SkinnyFatTree(32, skinny_above=3)
+        assert t.capacity(4) == 4
+        assert t.capacity(5) == 4
+
+    def test_rejects_bad_cut(self):
+        with pytest.raises(ValueError):
+            SkinnyFatTree(8, skinny_above=0)
+
+
+class TestCM5Tree:
+    def test_bottom_matches_perfect(self):
+        t = CM5Tree(64)
+        assert t.capacity(1) == 1
+        assert t.capacity(2) == 2
+
+    def test_sqrt2_growth_above(self):
+        # 1, 2, 4, 4, 8, 8: x2 per 4-way level
+        t = CM5Tree(64)
+        assert [t.capacity(k) for k in range(1, 7)] == [1, 2, 4, 4, 8, 8]
+
+    def test_skinny_relative_to_perfect(self):
+        cm5 = CM5Tree(64)
+        perfect = PerfectFatTree(64)
+        for k in range(3, 7):
+            assert cm5.capacity(k) <= perfect.capacity(k)
+        assert cm5.capacity(6) < perfect.capacity(6)
+
+
+class TestPaths:
+    def test_same_leaf_empty_path(self):
+        assert PerfectFatTree(8).path(3, 3) == []
+
+    def test_sibling_path(self):
+        chans = PerfectFatTree(8).path(0, 1)
+        assert len(chans) == 2
+        assert chans[0].up and not chans[1].up
+        assert all(c.level == 1 for c in chans)
+
+    def test_cross_root_path(self):
+        t = PerfectFatTree(8)
+        chans = t.path(0, 7)
+        assert len(chans) == 6  # 3 up + 3 down
+        assert max(c.level for c in chans) == 3
+
+    def test_path_levels_symmetric(self):
+        t = PerfectFatTree(16)
+        for a, b in ((0, 5), (3, 12), (7, 8)):
+            up = [c.level for c in t.path(a, b) if c.up]
+            down = [c.level for c in t.path(a, b) if not c.up]
+            assert sorted(up) == sorted(down)
+
+    def test_comm_level_and_path_agree(self):
+        t = PerfectFatTree(16)
+        for a in range(0, 16, 3):
+            for b in range(0, 16, 5):
+                if a != b:
+                    assert max(c.level for c in t.path(a, b)) == t.comm_level(a, b)
+
+    def test_out_of_range_leaf(self):
+        with pytest.raises(ValueError):
+            PerfectFatTree(8).path(0, 8)
+
+
+class TestFactory:
+    def test_all_names(self):
+        for name in ("perfect", "binary", "skinny", "cm5"):
+            t = make_topology(name, 16)
+            assert t.n_leaves == 16
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_topology("torus", 16)
+
+    def test_kwargs_forwarded(self):
+        t = make_topology("skinny", 16, skinny_above=1)
+        assert t.capacity(3) == 1
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            make_topology("perfect", 12)

@@ -1,0 +1,212 @@
+"""Tests of the two-block, four-block and fat-tree orderings (Section 3).
+
+These encode the Section 3 invariants: the divide-and-conquer structure
+of the two-block ordering, the order-preservation of the Fig 4(a) basic
+module, the merge procedure's coverage/step-count/restoration properties
+and the geometric locality of the fat-tree ordering's communication.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.orderings.fattree import FatTreeOrdering, fat_tree_sweep, merge_stage_plan
+from repro.orderings.fourblock import (
+    basic_module_schedule,
+    four_block_schedule,
+    merge_stage_fragments,
+)
+from repro.orderings.properties import check_all_pairs_once, check_local_pairs
+from repro.orderings.twoblock import two_block_schedule
+from repro.util.bits import ilog2
+
+SIZES = [4, 8, 16, 32, 64]
+
+
+class TestTwoBlock:
+    @pytest.mark.parametrize("K", [1, 2, 4, 8, 16])
+    def test_k_steps(self, K):
+        assert two_block_schedule(K).n_rotation_steps == K
+
+    @pytest.mark.parametrize("K", [1, 2, 4, 8, 16])
+    def test_cross_pairs_exactly_once(self, K):
+        s = two_block_schedule(K)
+        flat = [frozenset(p) for st in s.index_pairs() for p in st]
+        counts = Counter(flat)
+        block_a = set(range(1, 2 * K + 1, 2))   # top slots hold odd labels
+        block_b = set(range(2, 2 * K + 1, 2))
+        expected = {frozenset((a, b)) for a in block_a for b in block_b}
+        assert set(counts) == expected
+        assert all(v == 1 for v in counts.values())
+
+    @pytest.mark.parametrize("K", [2, 4, 8, 16])
+    def test_non_rotating_block_fixed(self, K):
+        final = two_block_schedule(K, rotate="bottom").final_layout()
+        assert final[0::2] == list(range(1, 2 * K + 1, 2))
+
+    @pytest.mark.parametrize("K", [2, 4, 8, 16])
+    def test_rotating_block_halves_exchanged_order_kept(self, K):
+        final = two_block_schedule(K, rotate="bottom").final_layout()
+        bots = final[1::2]
+        home = list(range(2, 2 * K + 1, 2))
+        half = K // 2
+        assert bots == home[half:] + home[:half]
+
+    @pytest.mark.parametrize("K", [2, 4, 8])
+    def test_two_sweeps_restore(self, K):
+        s = two_block_schedule(K)
+        layout = s.final_layout(s.final_layout())
+        assert layout == list(range(1, 2 * K + 1))
+
+    @pytest.mark.parametrize("K", [2, 4, 8])
+    def test_rotate_top_mirrors(self, K):
+        final = two_block_schedule(K, rotate="top").final_layout()
+        assert final[1::2] == list(range(2, 2 * K + 1, 2))  # bottoms fixed
+
+    @pytest.mark.parametrize("K", [2, 4, 8, 16])
+    def test_level_histogram_geometric(self, K):
+        # level-r interchanges touch K^2/2^r columns: the two-block
+        # ordering's traffic matches a fat-tree's doubling capacity
+        hist = two_block_schedule(K).level_histogram()
+        assert sorted(hist) == list(range(1, ilog2(K) + 1))
+        for r in range(1, ilog2(K) + 1):
+            assert hist[r] == K * K // (1 << (r - 1)) // 2
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            two_block_schedule(3)
+
+    def test_rejects_bad_rotate(self):
+        with pytest.raises(ValueError):
+            two_block_schedule(4, rotate="sideways")
+
+    def test_local_pairs(self):
+        assert check_local_pairs(two_block_schedule(8))
+
+
+class TestBasicModules:
+    def test_variant_a_all_pairs(self):
+        assert check_all_pairs_once(basic_module_schedule("a")).is_valid
+
+    def test_variant_b_all_pairs(self):
+        assert check_all_pairs_once(basic_module_schedule("b")).is_valid
+
+    def test_variant_a_preserves_order(self):
+        assert basic_module_schedule("a").final_layout() == [1, 2, 3, 4]
+
+    def test_variant_b_swaps_three_four(self):
+        assert basic_module_schedule("b").final_layout() == [1, 2, 4, 3]
+
+    def test_variant_b_restores_after_two(self):
+        s = basic_module_schedule("b")
+        assert s.final_layout(s.final_layout()) == [1, 2, 3, 4]
+
+    def test_variant_a_left_smaller_than_right(self):
+        # Fig 4(a): the left index of every pair is the smaller one
+        for pairs in basic_module_schedule("a").index_pairs():
+            for a, b in pairs:
+                assert a < b
+
+    def test_three_steps(self):
+        assert basic_module_schedule("a").n_rotation_steps == 3
+
+    def test_rejects_unknown_variant(self):
+        with pytest.raises(ValueError):
+            basic_module_schedule("c")
+
+
+class TestFourBlockMergeStage:
+    def test_fragment_count(self):
+        _, frags = merge_stage_fragments([0, 1], [2, 3])
+        assert len(frags) == 4  # two two-block orderings of size 2
+
+    def test_requires_equal_groups(self):
+        with pytest.raises(ValueError):
+            merge_stage_fragments([0, 1], [2])
+
+    def test_four_block_eight_is_fig6(self):
+        s = four_block_schedule(8)
+        assert s.n_rotation_steps == 7
+        assert check_all_pairs_once(s).is_valid
+        assert s.final_layout() == list(range(1, 9))
+
+    def test_four_block_rejects_other_sizes(self):
+        with pytest.raises(ValueError):
+            four_block_schedule(16)
+
+
+class TestMergeStagePlan:
+    def test_plan_shape_16(self):
+        plan = merge_stage_plan(16)
+        assert len(plan) == 3  # log2(16) - 1 stages
+        assert plan[0] == [[0, 1], [2, 3], [4, 5], [6, 7]]
+        assert plan[1] == [[[0, 1], [2, 3]], [[4, 5], [6, 7]]]
+        assert plan[2] == [[[0, 1, 2, 3], [4, 5, 6, 7]]]
+
+    def test_plan_covers_all_leaves_each_stage(self):
+        plan = merge_stage_plan(64)
+        for stage in plan[1:]:
+            leaves = [leaf for pair in stage for half in pair for leaf in half]
+            assert sorted(leaves) == list(range(32))
+
+
+class TestFatTreeOrdering:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_valid_sweep(self, n):
+        assert check_all_pairs_once(fat_tree_sweep(n)).is_valid
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_optimal_step_count(self, n):
+        assert fat_tree_sweep(n).n_rotation_steps == n - 1
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_order_restored_every_sweep(self, n):
+        # the headline advantage over the Lee-Luk-Boley ordering
+        assert FatTreeOrdering(n).restoration_period() == 1
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_all_pairs_local(self, n):
+        assert check_local_pairs(fat_tree_sweep(n))
+
+    @pytest.mark.parametrize("n", [8, 16, 32, 64])
+    def test_level_traffic_decays_geometrically(self, n):
+        hist = fat_tree_sweep(n).level_histogram()
+        levels = sorted(hist)
+        assert levels == list(range(1, ilog2(n // 2) + 1))
+        for lo, hi in zip(levels, levels[1:]):
+            assert hist[hi] < hist[lo]
+
+    @pytest.mark.parametrize("n", [16, 32])
+    def test_stage_locality(self, n):
+        # stage s is the only part of the sweep touching level s+1: the
+        # top level is touched by exactly the last merge stage
+        sched = fat_tree_sweep(n)
+        top = ilog2(n // 2)
+        first_top_step = None
+        for k, step in enumerate(sched.steps):
+            if any(m.level == top for m in step.moves):
+                first_top_step = k
+                break
+        assert first_top_step is not None
+        # everything before the last stage stays below the top level
+        last_stage_steps = n // 2  # 2 * K with K = n/4, plus boundary
+        assert first_top_step >= len(sched.steps) - last_stage_steps - 2
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            FatTreeOrdering(12)
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ValueError):
+            FatTreeOrdering(2)
+
+    def test_sweep_invariant(self):
+        o = FatTreeOrdering(16)
+        assert o.sweep(0) is o.sweep(5)
+
+    @pytest.mark.parametrize("n", [8, 16])
+    def test_left_smaller_than_right_throughout(self, n):
+        # inherited from Fig 4(a): sorted-output storage discipline
+        for pairs in fat_tree_sweep(n).index_pairs():
+            for a, b in pairs:
+                assert a < b

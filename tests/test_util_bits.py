@@ -1,0 +1,79 @@
+"""Unit tests for repro.util.bits."""
+
+import pytest
+
+from repro.util.bits import comm_level, ilog2, is_power_of_two, leaf_of_slot, msb
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for k in range(20):
+            assert is_power_of_two(1 << k)
+
+    def test_non_powers(self):
+        for x in (0, -1, -4, 3, 5, 6, 7, 9, 12, 1000):
+            assert not is_power_of_two(x)
+
+
+class TestIlog2:
+    def test_exact(self):
+        for k in range(16):
+            assert ilog2(1 << k) == k
+
+    @pytest.mark.parametrize("bad", [0, -2, 3, 6, 100])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ValueError):
+            ilog2(bad)
+
+
+class TestMsb:
+    def test_values(self):
+        assert msb(1) == 0
+        assert msb(2) == 1
+        assert msb(3) == 1
+        assert msb(4) == 2
+        assert msb(255) == 7
+        assert msb(256) == 8
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            msb(0)
+        with pytest.raises(ValueError):
+            msb(-5)
+
+
+class TestCommLevel:
+    def test_same_leaf_is_zero(self):
+        assert comm_level(3, 3) == 0
+
+    def test_siblings_are_level_one(self):
+        assert comm_level(0, 1) == 1
+        assert comm_level(6, 7) == 1
+
+    def test_cousins(self):
+        assert comm_level(0, 2) == 2
+        assert comm_level(1, 3) == 2
+        assert comm_level(0, 4) == 3
+        assert comm_level(0, 8) == 4
+
+    def test_symmetry(self):
+        for a in range(8):
+            for b in range(8):
+                assert comm_level(a, b) == comm_level(b, a)
+
+    def test_adjacent_leaves_vary_in_level(self):
+        # the ring neighbour hop crosses high levels at power boundaries
+        assert comm_level(3, 4) == 3
+        assert comm_level(7, 8) == 4
+
+
+class TestLeafOfSlot:
+    def test_two_per_leaf(self):
+        assert [leaf_of_slot(s) for s in range(6)] == [0, 0, 1, 1, 2, 2]
+
+    def test_custom_width(self):
+        assert leaf_of_slot(7, cols_per_leaf=4) == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            leaf_of_slot(-1)

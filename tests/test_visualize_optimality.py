@@ -1,0 +1,116 @@
+"""Tests for the figure-form visualizer, optimality audit and TAB-MSG."""
+
+import pytest
+
+from repro.analysis import (
+    audit_all,
+    audit_ordering,
+    lower_bound_steps,
+    message_size_table,
+    render_message_size_table,
+    search_optimal_ordering,
+)
+from repro.orderings import (
+    RingOrdering,
+    make_ordering,
+    render_grid_steps,
+    render_movements,
+    ring_sweep,
+    trajectory_table,
+)
+
+
+class TestVisualizer:
+    def test_grid_shows_initial_layout(self):
+        text = render_grid_steps(ring_sweep(8), max_steps=1)
+        lines = text.splitlines()
+        assert lines[0] == "step 1:"
+        assert lines[1].split() == ["1", "3", "5", "7"]
+        assert lines[2].split() == ["2", "4", "6", "8"]
+
+    def test_grid_step_count(self):
+        text = render_grid_steps(ring_sweep(8))
+        assert text.count("step ") == 7
+
+    def test_movements_mention_levels(self):
+        text = render_movements(ring_sweep(8), max_steps=2)
+        assert "level" in text
+        assert "->" in text
+
+    def test_trajectory_stationary_index_one(self):
+        traj = trajectory_table(ring_sweep(16))
+        assert len(set(traj[1])) == 1  # index 1 never moves
+
+    def test_trajectory_one_directional(self):
+        # every index's leaf sequence moves in a single ring direction
+        m = 8
+        traj = trajectory_table(ring_sweep(16))
+        for idx, leaves in traj.items():
+            deltas = {(b - a) % m for a, b in zip(leaves, leaves[1:]) if a != b}
+            assert len(deltas) <= 1, (idx, leaves)
+
+    def test_trajectory_covers_all_steps(self):
+        traj = trajectory_table(ring_sweep(8))
+        assert all(len(v) == 7 for v in traj.values())
+
+    def test_round_robin_grid_restores(self):
+        sched = make_ordering("round_robin", 8).sweep(0)
+        assert sched.final_layout() == list(range(1, 9))
+        text = render_grid_steps(sched)
+        assert "step 7:" in text
+
+
+class TestOptimality:
+    def test_lower_bound(self):
+        assert lower_bound_steps(8) == 7
+        assert lower_bound_steps(32) == 31
+
+    def test_lower_bound_rejects_odd(self):
+        with pytest.raises(ValueError):
+            lower_bound_steps(7)
+
+    @pytest.mark.parametrize("name", ["fat_tree", "ring_new", "round_robin", "hybrid"])
+    def test_paper_orderings_optimal(self, name):
+        kw = {"n_groups": 2} if name == "hybrid" else {}
+        audit = audit_ordering(make_ordering(name, 16, **kw))
+        assert audit.is_optimal
+        assert audit.idle_pair_slots == 0
+
+    def test_odd_even_suboptimal_by_one(self):
+        audit = audit_ordering(make_ordering("odd_even", 16))
+        assert audit.steps == 16
+        assert not audit.is_optimal
+        assert audit.idle_pair_slots == 8  # the idle end pairs
+
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_search_attains_bound(self, n):
+        steps = search_optimal_ordering(n)
+        assert steps is not None
+        assert len(steps) == n - 1
+        seen = {frozenset(p) for st in steps for p in st}
+        assert len(seen) == n * (n - 1) // 2
+
+    def test_audit_all_covers_registry(self):
+        audits = audit_all(16, hybrid={"n_groups": 2})
+        assert len(audits) == 7
+
+
+class TestMessageSize:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return message_size_table(32, sizes=[8, 128, 1024])
+
+    def test_locality_advantage_grows_with_message_size(self, rows):
+        # the [13] observation: keep communication local, especially for
+        # large messages
+        ratios = [r.advantage for r in rows]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > ratios[0]
+
+    def test_all_times_positive(self, rows):
+        for r in rows:
+            assert all(t > 0 for t in r.comm_time.values())
+
+    def test_render(self, rows):
+        text = render_message_size_table(rows)
+        assert "TAB-MSG" in text and "RR/fat ratio" in text
