@@ -1,0 +1,38 @@
+# Development gates.  `make lint` is the static-verification gate CI runs:
+# ruff + mypy over src/repro (skipped with a notice when the tools are not
+# installed, e.g. in offline containers) followed by the schedule linter
+# over every registered ordering.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test lint lint-tools lint-schedules bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint: lint-tools lint-schedules
+
+lint-tools:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src/repro; \
+	else \
+		echo "ruff not installed; skipping (pip install -e .[lint])"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy --config-file pyproject.toml; \
+	else \
+		echo "mypy not installed; skipping (pip install -e .[lint])"; \
+	fi
+
+# the uniform static gate: every registered ordering, n in {8, 16, 32},
+# races / coverage / direction / restoration; plus capacity+deadlock on
+# the topologies the paper proves its orderings clean on
+lint-schedules:
+	$(PYTHON) -m repro.cli lint
+	$(PYTHON) -m repro.cli lint --ordering fat_tree --ordering hybrid --topology perfect
+	$(PYTHON) -m repro.cli lint --ordering hybrid --topology cm5
+	$(PYTHON) -m repro.cli lint --ordering ring_new --ordering ring_modified --topology binary
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -25,6 +25,7 @@ from .machine import CostModel, TreeMachine, make_topology
 from .orderings import Ordering, make_ordering, ordering_names
 from .parallel import ParallelJacobiSVD
 from .svd import JacobiOptions, jacobi_svd
+from .verify import lint_ordering, lint_schedule
 
 __version__ = "1.0.0"
 
@@ -42,6 +43,8 @@ __all__ = [
     "block_jacobi_svd",
     "jacobi_eigh",
     "jacobi_svd",
+    "lint_ordering",
+    "lint_schedule",
     "lstsq",
     "pca",
     "pinv",

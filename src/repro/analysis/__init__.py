@@ -1,5 +1,23 @@
-"""Experiment harness regenerating every figure and claim of the paper."""
+"""Experiment harness regenerating every figure and claim of the paper.
 
+Besides the figure/table generators, this package re-exports the
+machine-checkable ordering predicates of
+:mod:`repro.orderings.properties`, so analysis code has one import
+surface for both the dynamic measurements and the invariants they
+rest on.  The *static* counterparts (rule-tagged diagnostics over the
+same invariants) live in :mod:`repro.verify`.
+"""
+
+from ..orderings.properties import (
+    ValidityReport,
+    check_all_pairs_once,
+    check_local_pairs,
+    check_one_directional,
+    find_relabelling,
+    meeting_gap_profile,
+    relabelling_equivalent,
+    sweep_message_counts,
+)
 from .commcost import CommCostRow, comm_cost_row, comm_cost_table
 from .contention import (
     ContentionRow,
@@ -54,6 +72,14 @@ from .tables import (
 __all__ = [
     "CommCostRow",
     "ContentionRow",
+    "ValidityReport",
+    "check_all_pairs_once",
+    "check_local_pairs",
+    "check_one_directional",
+    "find_relabelling",
+    "meeting_gap_profile",
+    "relabelling_equivalent",
+    "sweep_message_counts",
     "ConvergenceRow",
     "CrossoverRow",
     "crossover_level",

@@ -9,6 +9,8 @@ Subcommands
 ``tables [IDS...]``              print TAB-* tables (default: all)
 ``svd --m M --n N [--ordering O] [--topology T]``
                                  run one decomposition and report telemetry
+``lint [--ordering O ...] [--n N ...] [--topology T] [--json]``
+                                 statically verify schedules (exit 1 on findings)
 """
 
 from __future__ import annotations
@@ -49,6 +51,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--serial", action="store_true",
                      help="use the serial driver (no machine simulation)")
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically verify schedules (races, deadlock, direction, "
+             "coverage, restoration; plus link capacity with --topology)",
+    )
+    lint.add_argument("--ordering", action="append", default=None,
+                      metavar="NAME", dest="orderings",
+                      help="ordering to lint (repeatable; default: all registered)")
+    lint.add_argument("--n", action="append", type=int, default=None,
+                      metavar="N", dest="sizes",
+                      help="problem size to lint at (repeatable; default: 8 16 32)")
+    lint.add_argument("--topology", default=None,
+                      help="enable deadlock and link-capacity checks on this "
+                           "topology (default: structural checks only)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit a machine-readable JSON report")
     return p
 
 
@@ -97,6 +116,44 @@ def main(argv: list[str] | None = None) -> int:
             print(f"==== {key} " + "=" * (60 - len(key)))
             experiments[key]()
         return 0
+
+    if args.command == "lint":
+        import json
+
+        from repro.machine.topology import TOPOLOGIES
+        from repro.orderings import ordering_names
+        from repro.verify import DEFAULT_SIZES, lint_registry
+
+        if args.topology is not None and args.topology not in TOPOLOGIES:
+            print(f"unknown topology {args.topology!r}; "
+                  f"available: {', '.join(sorted(TOPOLOGIES))}")
+            return 2
+        unknown = set(args.orderings or []) - set(ordering_names())
+        if unknown:
+            print(f"unknown ordering(s) {sorted(unknown)}; "
+                  f"available: {', '.join(ordering_names())}")
+            return 2
+        reports = lint_registry(
+            names=args.orderings,
+            sizes=tuple(args.sizes) if args.sizes else DEFAULT_SIZES,
+            topology=args.topology,
+        )
+        ok = all(r.ok for r in reports)
+        if args.json:
+            print(json.dumps(
+                {"ok": ok, "topology": args.topology,
+                 "reports": [r.to_dict() for r in reports]},
+                indent=2, default=str,
+            ))
+        else:
+            for r in reports:
+                print(r.render())
+            n_err = sum(len(r.errors) for r in reports)
+            n_warn = sum(len(r.warnings) for r in reports)
+            print(f"{len(reports)} target(s): "
+                  f"{'all clean' if ok else f'{n_err} error(s)'}, "
+                  f"{n_warn} warning(s)")
+        return 0 if ok else 1
 
     if args.command == "svd":
         rng = np.random.default_rng(args.seed)

@@ -97,7 +97,12 @@ def llb_backward_sweep(n: int, skip_duplicate: bool = True) -> Schedule:
     for k in range(first_k, -1, -1):
         moves = _invert(fwd.steps[k - 1].moves) if k > 0 else ()
         steps.append(Step(pairs=fwd.steps[k].pairs, moves=moves))
-    return Schedule(n=n, steps=steps, name=f"llb_backward(n={n})")
+    sched = Schedule(n=n, steps=steps, name=f"llb_backward(n={n})")
+    # contract consumed by repro.verify: this sweep deliberately omits the
+    # rotation that would duplicate the preceding sweep's final rotation
+    # (trait 2 above), so those pairs are exempt from all-pairs coverage
+    sched.notes["skips_duplicate_rotation"] = skip_duplicate
+    return sched
 
 
 class LLBOrdering(Ordering):

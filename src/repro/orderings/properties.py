@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from itertools import combinations
 from collections.abc import Sequence
 
-from ..util.bits import leaf_of_slot
 from .base import Ordering
 from .schedule import Schedule
 
@@ -86,22 +85,18 @@ def check_one_directional(schedule: Schedule, ring_size: int | None = None) -> b
     4): messages travel between processors in only one direction
     throughout the computation.  Which of the two ring orientations is
     used is a naming convention, so either is accepted — as long as it is
-    consistent across the whole sweep.
+    consistent across the whole sweep (and matches the direction the
+    schedule itself declares in ``notes["direction"]``, if any).
+
+    Thin adapter: the per-move analysis lives in
+    :func:`repro.verify.direction.ring_direction_violations`, which
+    reports *which* moves break the invariant; this predicate only asks
+    whether any do.  The import is local because :mod:`repro.verify`
+    depends on this package.
     """
-    P = ring_size if ring_size is not None else schedule.n // 2
-    direction: int | None = None
-    for _, move in schedule.all_moves():
-        src, dst = leaf_of_slot(move.src), leaf_of_slot(move.dst)
-        if src == dst:
-            continue
-        delta = (dst - src) % P
-        if delta not in (1, P - 1):
-            return False
-        if direction is None:
-            direction = delta
-        elif delta != direction:
-            return False
-    return True
+    from ..verify.direction import ring_direction_violations
+
+    return not ring_direction_violations(schedule, ring_size=ring_size)
 
 
 def sweep_message_counts(schedule: Schedule) -> dict[int, int]:

@@ -1,0 +1,87 @@
+"""Static verification of parallel Jacobi schedules (no execution needed).
+
+The paper states its correctness claims as prose invariants: every
+column pair meets exactly once per sweep, index order is restored
+after each sweep (or two), ring messages travel in only one direction,
+and no channel of the tree carries more load than its capacity.  The
+test-suite checks these *dynamically* by running sweeps; this package
+proves them *statically*, directly from the
+:class:`~repro.orderings.schedule.Schedule` object, the way a race
+detector or sanitizer gates a parallel runtime:
+
+* :mod:`repro.verify.races` — per-step write-write races, unmatched
+  exchanges, placement-bijection violations (``RACE001``-``RACE005``);
+* :mod:`repro.verify.direction` — channel-dependency deadlock analysis
+  and ring one-directionality (``DIR001``-``DIR003``);
+* :mod:`repro.verify.capacity` — static per-channel link loads routed
+  with the machine's own router, plus a cross-check against the
+  dynamic contention analysis (``CAP001``-``CAP003``);
+* :mod:`repro.verify.sweepcheck` — all-pairs coverage and index-order
+  restoration (``SWEEP001``-``SWEEP003``);
+* :mod:`repro.verify.linter` — orchestration over schedules, orderings
+  and the whole registry (the ``repro-harness lint`` gate);
+* :mod:`repro.verify.corrupt` — corruption operators for negative
+  tests, each engineered to trip one rule family.
+
+Quick use::
+
+    from repro import make_ordering
+    from repro.verify import lint_ordering
+
+    report = lint_ordering(make_ordering("ring_new", 16))
+    assert report.ok, report.render()
+"""
+
+from .capacity import check_capacity, crosscheck_dynamic, static_level_contention
+from .corrupt import (
+    drop_exchange,
+    duplicate_pair,
+    overload_link,
+    reverse_ring_step,
+    unchecked_schedule,
+    unchecked_step,
+)
+from .diagnostics import RULES, Diagnostic, Report, rule_description
+from .direction import (
+    channel_dependency_cycle,
+    check_deadlock_free,
+    ring_direction_violations,
+)
+from .linter import DEFAULT_SIZES, lint_ordering, lint_registry, lint_schedule
+from .races import check_placement_bijection, check_step_races, find_races
+from .sweepcheck import (
+    check_ordering_restoration,
+    check_pair_coverage,
+    check_restoration,
+    permutation_order,
+)
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "Diagnostic",
+    "RULES",
+    "Report",
+    "channel_dependency_cycle",
+    "check_capacity",
+    "check_deadlock_free",
+    "check_ordering_restoration",
+    "check_pair_coverage",
+    "check_placement_bijection",
+    "check_restoration",
+    "check_step_races",
+    "crosscheck_dynamic",
+    "drop_exchange",
+    "duplicate_pair",
+    "find_races",
+    "lint_ordering",
+    "lint_registry",
+    "lint_schedule",
+    "overload_link",
+    "permutation_order",
+    "reverse_ring_step",
+    "ring_direction_violations",
+    "rule_description",
+    "static_level_contention",
+    "unchecked_schedule",
+    "unchecked_step",
+]

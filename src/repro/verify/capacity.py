@@ -1,0 +1,121 @@
+"""Static link-capacity (contention) analysis of a schedule on a topology.
+
+For every communication phase the analyzer routes each inter-leaf move
+with :func:`repro.machine.routing.route_phase` — the same router the
+machine simulator charges — and flags any channel whose load exceeds
+its capacity (rule CAP003).  This is the static counterpart of
+Section 5's measurement: the fat-tree ordering oversubscribes the
+skinny channels of a CM-5-like tree, the hybrid ordering never
+oversubscribes any channel, and the ring orderings are contention-free
+even on an ordinary binary tree.
+
+Because the dynamic analysis in :mod:`repro.analysis.contention`
+computes the same quantity independently (its own path walk and load
+aggregation), :func:`crosscheck_dynamic` compares the two per-level
+profiles and raises CAP001 on any disagreement — a self-check that
+keeps the static gate honest against drift in either implementation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..machine.routing import route_phase
+from ..machine.topology import TreeTopology
+from ..orderings.schedule import Schedule
+from ..util.bits import leaf_of_slot
+from .diagnostics import Diagnostic
+
+__all__ = ["check_capacity", "static_level_contention", "crosscheck_dynamic"]
+
+
+def _phase_messages(step_moves, n_leaves: int):
+    """``(src_leaf, dst_leaf)`` endpoints of a phase, plus out-of-range leaves."""
+    messages: list[tuple[int, int]] = []
+    oob: set[int] = set()
+    for m in step_moves:
+        src, dst = leaf_of_slot(m.src), leaf_of_slot(m.dst)
+        for leaf in (src, dst):
+            if not 0 <= leaf < n_leaves:
+                oob.add(leaf)
+        if not oob:
+            messages.append((src, dst))
+    return messages, sorted(oob)
+
+
+def check_capacity(schedule: Schedule, topology: TreeTopology) -> list[Diagnostic]:
+    """CAP002/CAP003 diagnostics for every phase of a sweep."""
+    out: list[Diagnostic] = []
+    for step_no, step in enumerate(schedule.steps, start=1):
+        if not step.moves:
+            continue
+        messages, oob = _phase_messages(step.moves, topology.n_leaves)
+        if oob:
+            out.append(Diagnostic(
+                rule="CAP002", step=step_no,
+                message=f"leaf endpoint(s) {oob} outside the "
+                        f"{topology.n_leaves}-leaf topology {topology.name}",
+                details=(("leaves", tuple(oob)),),
+            ))
+            continue
+        phase = route_phase(topology, messages)
+        for ch, load in sorted(
+            phase.channel_loads.items(),
+            key=lambda kv: (kv[0].level, kv[0].index, kv[0].up),
+        ):
+            cap = topology.capacity(ch.level)
+            if load > cap:
+                out.append(Diagnostic(
+                    rule="CAP003", step=step_no,
+                    message=f"channel level {ch.level} subtree {ch.index} "
+                            f"({'up' if ch.up else 'down'}) carries {load} "
+                            f"messages, capacity {cap} "
+                            f"(contention {load / cap:.2f})",
+                    details=(("level", ch.level), ("index", ch.index),
+                             ("up", ch.up), ("load", load), ("capacity", cap)),
+                ))
+    return out
+
+
+def static_level_contention(
+    schedule: Schedule, topology: TreeTopology
+) -> dict[int, float]:
+    """Worst per-level ``load/capacity`` over all phases, routed statically."""
+    worst: dict[int, float] = defaultdict(float)
+    for step in schedule.steps:
+        if not step.moves:
+            continue
+        messages, oob = _phase_messages(step.moves, topology.n_leaves)
+        if oob:
+            continue
+        phase = route_phase(topology, messages)
+        for ch, load in phase.channel_loads.items():
+            f = load / topology.capacity(ch.level)
+            worst[ch.level] = max(worst[ch.level], f)
+    return dict(sorted(worst.items()))
+
+
+def crosscheck_dynamic(
+    schedule: Schedule, topology: TreeTopology
+) -> list[Diagnostic]:
+    """CAP001: static per-level contention must equal the dynamic analysis.
+
+    Imports :mod:`repro.analysis.contention` lazily so that the verify
+    package stays importable without pulling the full experiment
+    harness in.
+    """
+    from ..analysis.contention import per_level_contention
+
+    static = static_level_contention(schedule, topology)
+    dynamic = per_level_contention(schedule, topology)
+    out: list[Diagnostic] = []
+    for level in sorted(set(static) | set(dynamic)):
+        s, d = static.get(level, 0.0), dynamic.get(level, 0.0)
+        if s != d:
+            out.append(Diagnostic(
+                rule="CAP001",
+                message=f"level {level}: static contention {s:.4f} != "
+                        f"dynamic contention {d:.4f}",
+                details=(("level", level), ("static", s), ("dynamic", d)),
+            ))
+    return out

@@ -1,0 +1,137 @@
+"""Schedule corruption operators for negative testing of the verifier.
+
+Each operator takes a healthy :class:`~repro.orderings.schedule.Schedule`
+and returns a broken copy engineered to trip exactly one family of
+rules, so the test-suite (and anyone fuzzing the gate) can assert that
+the verifier catches each paper invariant's violation by rule ID:
+
+==================  ============================================
+operator            rule the linter must fire
+==================  ============================================
+:func:`duplicate_pair`    ``SWEEP001`` (pair rotated twice)
+:func:`drop_exchange`     ``RACE003`` (send without receive)
+:func:`reverse_ring_step` ``DIR002`` (backward ring edge)
+:func:`overload_link`     ``CAP003`` (oversubscribed channel)
+==================  ============================================
+
+Some corruptions are unrepresentable through the validating
+constructors (``Step`` rejects non-permutation moves at build time),
+which is exactly the scenario the verifier exists for: input that did
+*not* come through our constructors.  :func:`unchecked_step` and
+:func:`unchecked_schedule` bypass ``__post_init__`` validation to
+build such objects.
+"""
+
+from __future__ import annotations
+
+from ..orderings.schedule import Move, Schedule, Step
+from ..util.validation import require
+
+__all__ = [
+    "unchecked_step",
+    "unchecked_schedule",
+    "duplicate_pair",
+    "drop_exchange",
+    "reverse_ring_step",
+    "overload_link",
+]
+
+
+def unchecked_step(
+    pairs: tuple[tuple[int, int], ...], moves: tuple[Move, ...] = ()
+) -> Step:
+    """Build a :class:`Step` without running its validation."""
+    step = object.__new__(Step)
+    object.__setattr__(step, "pairs", tuple(pairs))
+    object.__setattr__(step, "moves", tuple(moves))
+    return step
+
+
+def unchecked_schedule(
+    n: int, steps: list[Step], name: str,
+    notes: dict[str, object] | None = None,
+) -> Schedule:
+    """Build a :class:`Schedule` without running its validation."""
+    sched = object.__new__(Schedule)
+    sched.n = n
+    sched.steps = list(steps)
+    sched.name = name
+    sched.notes = dict(notes) if notes else {}
+    return sched
+
+
+def duplicate_pair(schedule: Schedule) -> Schedule:
+    """Rotate the first step's pairs twice: prepend a move-free copy.
+
+    The inserted step performs the same rotations on the same (still
+    unmoved) columns, so every index pair of the original first step is
+    now met twice in the sweep — the paper's "exactly once per sweep"
+    invariant broken with every step still locally well-formed.
+    """
+    require(bool(schedule.steps) and bool(schedule.steps[0].pairs),
+            "schedule has no rotation step to duplicate")
+    extra = Step(pairs=schedule.steps[0].pairs, moves=())
+    out = Schedule(n=schedule.n, steps=[extra, *schedule.steps],
+                   name=f"{schedule.name}+duplicate_pair")
+    out.notes.update(schedule.notes)
+    return out
+
+
+def drop_exchange(schedule: Schedule) -> Schedule:
+    """Remove one inter-leaf move: its payload column is never received.
+
+    The resulting move set is no longer a partial permutation, which a
+    validating constructor would reject — so the broken step is built
+    unchecked, exactly like a schedule deserialized from an external
+    (buggy) scheduler would arrive.
+    """
+    for k, step in enumerate(schedule.steps):
+        remote = [m for m in step.moves if not m.is_local]
+        if remote:
+            kept = tuple(m for m in step.moves if m is not remote[0])
+            broken = unchecked_step(step.pairs, kept)
+            steps = [*schedule.steps[:k], broken, *schedule.steps[k + 1:]]
+            return unchecked_schedule(schedule.n, steps,
+                                      f"{schedule.name}+drop_exchange",
+                                      notes=schedule.notes)
+    raise ValueError(f"{schedule.name} has no inter-leaf move to drop")
+
+
+def reverse_ring_step(schedule: Schedule) -> Schedule:
+    """Reverse every move of the first communicating step.
+
+    The reversed moves still form a valid partial permutation (the
+    inverse one), but the messages of that step now travel in the
+    opposite ring direction — the one-directionality of Section 4 is
+    broken while all local validation still passes.
+    """
+    for k, step in enumerate(schedule.steps):
+        if any(not m.is_local for m in step.moves):
+            flipped = tuple(Move(m.dst, m.src) for m in step.moves)
+            steps = [*schedule.steps[:k],
+                     Step(pairs=step.pairs, moves=flipped),
+                     *schedule.steps[k + 1:]]
+            out = Schedule(n=schedule.n, steps=steps,
+                           name=f"{schedule.name}+reverse_ring_step")
+            out.notes.update(schedule.notes)
+            return out
+    raise ValueError(f"{schedule.name} has no communicating step to reverse")
+
+
+def overload_link(schedule: Schedule) -> Schedule:
+    """Append a phase that swaps the machine's two halves in one step.
+
+    Every leaf of the left half sends both of its columns across the
+    root simultaneously: ``n/2`` messages through a top-level channel
+    of capacity ``n/4`` on a perfect fat-tree — contention 2.0 on any
+    of the modelled topologies.
+    """
+    n = schedule.n
+    require(n >= 4, "need at least two leaves to overload the root")
+    half = n // 2
+    moves = tuple(Move(s, (s + half) % n) for s in range(n))
+    flood = Step(pairs=(), moves=moves)
+    out = Schedule(n=n, steps=[*schedule.steps, flood],
+                   name=f"{schedule.name}+overload_link")
+    out.notes.update(schedule.notes)
+    return out

@@ -1,0 +1,156 @@
+"""One-directionality and deadlock analysis of communication phases.
+
+Two families of rules live here.
+
+**Ring direction (DIR002/DIR003).**  Section 4's headline property: in
+the new ring ordering "the messages travel between processors in only
+one direction" and every message advances exactly one ring position.
+:func:`ring_direction_violations` is the single source of truth for
+this analysis; the boolean predicate
+:func:`repro.orderings.properties.check_one_directional` is a thin
+adapter over it.  A schedule built by
+:func:`repro.orderings.ringnew.ring_sweep` declares its direction in
+``schedule.notes["direction"]``; when no direction is declared the
+checker infers it from the first inter-leaf move, so either ring
+orientation is accepted as long as it is consistent.
+
+**Deadlock freedom (DIR001).**  Each communication phase acquires a
+set of directed tree channels; with blocking flow control a phase can
+deadlock only if the channel-dependency graph — an edge from each
+channel of a route to the next channel of the same route — has a
+cycle.  On tree topologies every route climbs monotonically and then
+descends (up channels before down channels, levels strictly ordered),
+so the graph is provably acyclic; the checker verifies that property
+on the actual routed paths rather than assuming it, which keeps the
+gate meaningful if routing is ever extended (e.g. adjacency shortcuts
+or a physical ring embedding).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..machine.topology import Channel, TreeTopology
+from ..orderings.schedule import Schedule
+from ..util.bits import leaf_of_slot
+from .diagnostics import Diagnostic
+
+__all__ = [
+    "ring_direction_violations",
+    "channel_dependency_cycle",
+    "check_deadlock_free",
+]
+
+
+def ring_direction_violations(
+    schedule: Schedule,
+    ring_size: int | None = None,
+    direction: int | None = None,
+) -> list[Diagnostic]:
+    """DIR002/DIR003 diagnostics for a ring-realized schedule.
+
+    ``direction`` (+1/-1) pins the expected orientation; ``None`` means
+    "use ``schedule.notes['direction']`` if declared, else infer from
+    the first inter-leaf move".
+    """
+    P = ring_size if ring_size is not None else schedule.n // 2
+    if direction is None:
+        declared = schedule.notes.get("direction")
+        direction = declared if declared in (+1, -1) else None
+    out: list[Diagnostic] = []
+    for step_no, step in enumerate(schedule.steps, start=1):
+        for move in step.moves:
+            src, dst = leaf_of_slot(move.src), leaf_of_slot(move.dst)
+            if src == dst:
+                continue
+            delta = (dst - src) % P
+            if delta not in (1, P - 1):
+                out.append(Diagnostic(
+                    rule="DIR003", step=step_no,
+                    message=f"move {move.src}->{move.dst} jumps leaves "
+                            f"{src}->{dst}: {min(delta, P - delta)} ring "
+                            f"positions instead of 1",
+                    details=(("src_leaf", src), ("dst_leaf", dst)),
+                ))
+                continue
+            if P == 2:
+                # on a two-processor ring delta 1 == P-1: the two
+                # orientations coincide, so any single-hop move is fine
+                continue
+            this_dir = +1 if delta == 1 else -1
+            if direction is None:
+                direction = this_dir
+            elif this_dir != direction:
+                out.append(Diagnostic(
+                    rule="DIR002", step=step_no,
+                    message=f"move {move.src}->{move.dst} travels backward "
+                            f"(leaves {src}->{dst}, direction {this_dir:+d} "
+                            f"against the sweep's {direction:+d})",
+                    details=(("src_leaf", src), ("dst_leaf", dst),
+                             ("expected", direction)),
+                ))
+    return out
+
+
+def channel_dependency_cycle(
+    paths: Iterable[Sequence[Channel]],
+) -> list[Channel] | None:
+    """Find a cycle in the channel-dependency graph of one phase.
+
+    Returns one witness cycle (a channel sequence whose last element
+    depends on the first), or ``None`` if the graph is acyclic and the
+    phase is deadlock-free under blocking flow control.
+    """
+    edges: dict[Channel, set[Channel]] = {}
+    for path in paths:
+        for a, b in zip(path, path[1:]):
+            edges.setdefault(a, set()).add(b)
+            edges.setdefault(b, set())
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {ch: WHITE for ch in edges}
+    for root in edges:
+        if color[root] != WHITE:
+            continue
+        stack: list[tuple[Channel, Iterable[Channel]]] = [(root, iter(edges[root]))]
+        trail = [root]
+        color[root] = GREY
+        while stack:
+            node, it = stack[-1]
+            nxt = next(it, None)
+            if nxt is None:
+                color[node] = BLACK
+                stack.pop()
+                trail.pop()
+                continue
+            if color[nxt] == GREY:
+                return trail[trail.index(nxt):]
+            if color[nxt] == WHITE:
+                color[nxt] = GREY
+                stack.append((nxt, iter(edges[nxt])))
+                trail.append(nxt)
+    return None
+
+
+def check_deadlock_free(
+    schedule: Schedule, topology: TreeTopology
+) -> list[Diagnostic]:
+    """DIR001: per-step channel-dependency acyclicity on a topology."""
+    out: list[Diagnostic] = []
+    for step_no, step in enumerate(schedule.steps, start=1):
+        paths = []
+        for move in step.moves:
+            src, dst = leaf_of_slot(move.src), leaf_of_slot(move.dst)
+            if src != dst:
+                paths.append(topology.path(src, dst))
+        cycle = channel_dependency_cycle(paths)
+        if cycle is not None:
+            desc = " -> ".join(
+                f"L{ch.level}{'u' if ch.up else 'd'}#{ch.index}" for ch in cycle
+            )
+            out.append(Diagnostic(
+                rule="DIR001", step=step_no,
+                message=f"cyclic channel dependency ({desc}): phase can "
+                        f"deadlock under blocking flow control",
+                details=(("cycle_length", len(cycle)),),
+            ))
+    return out

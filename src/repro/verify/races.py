@@ -1,0 +1,143 @@
+"""Static data-race detection on a :class:`~repro.orderings.schedule.Schedule`.
+
+The checks re-derive every invariant from the raw ``pairs``/``moves``
+data instead of trusting the constructor validation of
+:class:`~repro.orderings.schedule.Step` — schedules under audit may come
+from unchecked sources (a hand-written ordering, a corruption operator
+from :mod:`repro.verify.corrupt`, a deserialized trace), and the whole
+point of a verifier is to not assume its input is well-formed.
+
+Rules
+-----
+``RACE001``
+    A slot named by two rotation pairs of one step: two processors
+    would update the same column concurrently.
+``RACE002``
+    Two moves of one step share a source or a destination slot: a
+    column is fetched twice or a slot written twice in one phase.
+``RACE003``
+    The move set is not a partial permutation (``src`` set != ``dst``
+    set).  A send without a matching receive drops a column on the
+    floor; a receive without a send duplicates one.
+``RACE004``
+    Tracking slot contents through the sweep, the column-to-slot
+    placement stops being a bijection (some column lost or doubled) or
+    a slot index leaves ``[0, n)``.
+``RACE005`` *(warning)*
+    A rotation pair spans two leaves.  Legal — the cost model charges
+    the remote fetch — but both processors touch the same column pair
+    in one step, which the paper's tree orderings avoid by design.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..orderings.schedule import Schedule, Step
+from .diagnostics import Diagnostic
+
+__all__ = ["check_step_races", "check_placement_bijection", "find_races"]
+
+
+def _fmt(slots: list[int]) -> str:
+    return ", ".join(str(s) for s in sorted(slots))
+
+
+def check_step_races(step: Step, step_no: int) -> list[Diagnostic]:
+    """Race-check one step in isolation (rules RACE001/2/3/5)."""
+    out: list[Diagnostic] = []
+
+    pair_slots = Counter(s for p in step.pairs for s in p)
+    shared = [s for s, c in pair_slots.items() if c > 1]
+    if shared:
+        out.append(Diagnostic(
+            rule="RACE001", step=step_no,
+            message=f"slot(s) {_fmt(shared)} appear in two rotation pairs",
+            details=(("slots", tuple(sorted(shared))),),
+        ))
+
+    srcs = Counter(m.src for m in step.moves)
+    dsts = Counter(m.dst for m in step.moves)
+    dup_src = [s for s, c in srcs.items() if c > 1]
+    dup_dst = [s for s, c in dsts.items() if c > 1]
+    if dup_src or dup_dst:
+        out.append(Diagnostic(
+            rule="RACE002", step=step_no,
+            message=f"duplicate move source(s) [{_fmt(dup_src)}] / "
+                    f"destination(s) [{_fmt(dup_dst)}]",
+            details=(("sources", tuple(sorted(dup_src))),
+                     ("destinations", tuple(sorted(dup_dst)))),
+        ))
+    elif set(srcs) != set(dsts):
+        unreceived = sorted(set(srcs) - set(dsts))
+        unsent = sorted(set(dsts) - set(srcs))
+        out.append(Diagnostic(
+            rule="RACE003", step=step_no,
+            message=f"moves are not a partial permutation: slot(s) "
+                    f"[{_fmt(unreceived)}] vacated but never refilled, "
+                    f"slot(s) [{_fmt(unsent)}] overwritten without being vacated",
+            details=(("vacated", tuple(unreceived)),
+                     ("overwritten", tuple(unsent))),
+        ))
+
+    remote = step.remote_pairs
+    if remote:
+        out.append(Diagnostic(
+            rule="RACE005", step=step_no,
+            message=f"{len(remote)} rotation pair(s) span two leaves, "
+                    f"e.g. {remote[0]}",
+            details=(("pairs", tuple(remote)),),
+        ))
+    return out
+
+
+def check_placement_bijection(schedule: Schedule) -> list[Diagnostic]:
+    """Track slot contents through the sweep and verify the placement
+    stays a bijection (rule RACE004).
+
+    The simulation applies each step's moves with snapshot semantics
+    (all sends read the pre-step contents), mirroring
+    :func:`repro.orderings.schedule.apply_moves` but tolerating
+    ill-formed move sets so corruption is reported, not raised.
+    """
+    n = schedule.n
+    out: list[Diagnostic] = []
+    layout: list[int | None] = list(range(n))
+    for step_no, step in enumerate(schedule.steps, start=1):
+        oob = sorted({s for p in step.pairs for s in p if not 0 <= s < n}
+                     | {s for m in step.moves for s in (m.src, m.dst)
+                        if not 0 <= s < n})
+        if oob:
+            out.append(Diagnostic(
+                rule="RACE004", step=step_no,
+                message=f"slot(s) [{_fmt(oob)}] outside [0, {n})",
+                details=(("slots", tuple(oob)),),
+            ))
+            return out  # layout tracking is meaningless past this point
+        snapshot = {m.src: layout[m.src] for m in step.moves}
+        vacated = set(snapshot) - {m.dst for m in step.moves}
+        for s in vacated:
+            layout[s] = None
+        for m in step.moves:
+            layout[m.dst] = snapshot[m.src]
+        occupied = [c for c in layout if c is not None]
+        if len(set(occupied)) != n:
+            lost = sorted(set(range(n)) - set(occupied))
+            doubled = sorted(c for c, k in Counter(occupied).items() if k > 1)
+            out.append(Diagnostic(
+                rule="RACE004", step=step_no,
+                message=f"placement is not a bijection after step {step_no}: "
+                        f"column(s) {lost} lost, {doubled} duplicated",
+                details=(("lost", tuple(lost)), ("duplicated", tuple(doubled))),
+            ))
+            return out
+    return out
+
+
+def find_races(schedule: Schedule) -> list[Diagnostic]:
+    """All race diagnostics for one sweep (RACE001-RACE005)."""
+    out: list[Diagnostic] = []
+    for step_no, step in enumerate(schedule.steps, start=1):
+        out.extend(check_step_races(step, step_no))
+    out.extend(check_placement_bijection(schedule))
+    return out

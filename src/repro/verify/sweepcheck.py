@@ -1,0 +1,123 @@
+"""Sweep-closure checks: all-pairs coverage and index-order restoration.
+
+The defining property of a Jacobi sweep — every unordered column pair
+rotated exactly once — already has a single source of truth in
+:func:`repro.orderings.properties.check_all_pairs_once`; this module
+is a thin adapter that turns its :class:`ValidityReport` into
+rule-tagged diagnostics (SWEEP001 duplicates, SWEEP002 missing pairs)
+so every ordering flows through the same gate.
+
+Order restoration (SWEEP003) is checked algebraically: the sweep's
+slot permutation is decomposed into cycles and its order (the lcm of
+the cycle lengths) compared against the allowed period — 1 for the
+fat-tree ordering ("the original order of the indices is maintained
+after the completion of each sweep"), 2 for the ring orderings (two
+consecutive sweeps restore the order).  Orderings whose consecutive
+sweeps differ (the Lee-Luk-Boley forward/backward alternation) are
+handled at the :class:`~repro.orderings.base.Ordering` level by
+composing one full period of sweep permutations.
+"""
+
+from __future__ import annotations
+
+from math import lcm
+from collections.abc import Sequence
+
+from ..orderings.base import Ordering
+from ..orderings.properties import check_all_pairs_once
+from ..orderings.schedule import Schedule, permutation_of_sweep
+from .diagnostics import Diagnostic
+
+__all__ = [
+    "permutation_order",
+    "check_pair_coverage",
+    "check_restoration",
+    "check_ordering_restoration",
+]
+
+_MAX_LISTED = 8  # cap enumerations inside one message
+
+
+def permutation_order(perm: Sequence[int]) -> int:
+    """Order of a permutation: lcm of its cycle lengths."""
+    seen = [False] * len(perm)
+    order = 1
+    for start in range(len(perm)):
+        if seen[start]:
+            continue
+        length, j = 0, start
+        while not seen[j]:
+            seen[j] = True
+            j = perm[j]
+            length += 1
+        order = lcm(order, length)
+    return order
+
+
+def _listed(pairs) -> str:
+    shown = [tuple(sorted(p)) for p in pairs[:_MAX_LISTED]]
+    suffix = ", ..." if len(pairs) > _MAX_LISTED else ""
+    return f"{shown}{suffix}"
+
+
+def check_pair_coverage(
+    schedule: Schedule,
+    layout: Sequence[int] | None = None,
+    exempt: frozenset[frozenset[int]] = frozenset(),
+) -> list[Diagnostic]:
+    """SWEEP001/SWEEP002 diagnostics from the all-pairs-once predicate.
+
+    ``exempt`` names index pairs the sweep is allowed to skip.  The only
+    producer today is the Lee-Luk-Boley backward sweep, whose schedule
+    declares (``notes["skips_duplicate_rotation"]``) that it omits the
+    rotation duplicating the preceding sweep's final one; the linter
+    computes the concrete exempt pairs from that preceding sweep.
+    """
+    report = check_all_pairs_once(schedule, layout)
+    out: list[Diagnostic] = []
+    if report.duplicates:
+        out.append(Diagnostic(
+            rule="SWEEP001",
+            message=f"{len(report.duplicates)} index pair(s) rotated more "
+                    f"than once: {_listed(report.duplicates)}",
+            details=(("n_duplicates", len(report.duplicates)),),
+        ))
+    missing = [p for p in report.missing if p not in exempt]
+    if missing:
+        out.append(Diagnostic(
+            rule="SWEEP002",
+            message=f"{len(missing)} of {report.n_pairs_expected} "
+                    f"index pair(s) never rotated: {_listed(missing)}",
+            details=(("n_missing", len(missing)),
+                     ("n_expected", report.n_pairs_expected)),
+        ))
+    return out
+
+
+def check_restoration(schedule: Schedule, max_period: int) -> list[Diagnostic]:
+    """SWEEP003 for a sweep-invariant schedule: the sweep permutation's
+    order must divide into ``max_period`` repetitions."""
+    order = permutation_order(permutation_of_sweep(schedule))
+    if order > max_period:
+        return [Diagnostic(
+            rule="SWEEP003",
+            message=f"sweep permutation has order {order}; index order is "
+                    f"not restored within {max_period} sweep(s)",
+            details=(("order", order), ("max_period", max_period)),
+        )]
+    return []
+
+
+def check_ordering_restoration(
+    ordering: Ordering, max_period: int
+) -> list[Diagnostic]:
+    """SWEEP003 at the ordering level (handles sweep-alternating orderings)."""
+    period = ordering.restoration_period(max_period=max_period)
+    if period == 0:
+        return [Diagnostic(
+            rule="SWEEP003",
+            message=f"no restoration period <= {max_period}: index order is "
+                    f"not restored within {max_period} sweep(s)",
+            details=(("max_period", max_period),),
+        )]
+    return []

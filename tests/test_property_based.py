@@ -8,7 +8,7 @@ algebra and SVD backward-stability on random well-posed inputs.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.orderings import (
     check_all_pairs_once,
@@ -55,6 +55,53 @@ class TestOrderingInvariants:
         layout = list(range(start, start + n))
         sched = make_ordering("fat_tree", n).sweep(0)
         assert check_all_pairs_once(sched, layout=layout).is_valid
+
+
+class TestStaticDynamicAgreement:
+    """The static verifier and the dynamic predicates agree on generated
+    schedules — healthy and corrupted alike (uses the ``verifier``
+    fixture from conftest)."""
+
+    # the verifier fixtures are stateless (they return module functions),
+    # so sharing them across hypothesis examples is sound
+    _fixture_ok = [HealthCheck.function_scoped_fixture]
+
+    @settings(deadline=None, max_examples=15, suppress_health_check=_fixture_ok)
+    @given(n=even_sizes)
+    def test_static_gate_agrees_with_dynamic_predicates(self, verifier, n):
+        sched = make_ordering("ring_new", n).sweep(0)
+        report = verifier(sched)
+        dynamic_ok = (check_all_pairs_once(sched).is_valid
+                      and check_one_directional(sched))
+        assert report.ok == dynamic_ok
+        assert report.ok
+
+    @settings(deadline=None, max_examples=10, suppress_health_check=_fixture_ok)
+    @given(n=st.sampled_from([8, 16, 32]),
+           which=st.sampled_from(["duplicate", "reverse"]))
+    def test_corruptions_break_both_static_and_dynamic(self, verifier, n, which):
+        # n >= 8 so the ring has >= 4 processors: on a 2-processor ring
+        # the orientations coincide and reversal is not a corruption
+        from repro.verify import duplicate_pair, reverse_ring_step
+
+        sched = make_ordering("ring_new", n).sweep(0)
+        if which == "duplicate":
+            broken = duplicate_pair(sched)
+            assert not check_all_pairs_once(broken).is_valid
+            assert "SWEEP001" in verifier(broken).rules_fired()
+        else:
+            broken = reverse_ring_step(sched)
+            assert not check_one_directional(broken)
+            assert "DIR002" in verifier(broken).rules_fired()
+
+    @settings(deadline=None, max_examples=10, suppress_health_check=_fixture_ok)
+    @given(n=pow2_sizes)
+    def test_ordering_gate_matches_restoration_period(self, ordering_verifier, n):
+        for name in ("fat_tree", "ring_new", "round_robin"):
+            o = make_ordering(name, n)
+            report = ordering_verifier(o)
+            assert report.ok
+            assert 1 <= o.restoration_period() <= 2
 
 
 class TestMoveAlgebra:

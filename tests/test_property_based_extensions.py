@@ -2,11 +2,28 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.apps import pinv, truncated_svd
 from repro.blockjacobi import BlockJacobiOptions, block_jacobi_svd
 from repro.eig import jacobi_eigh
+from repro.orderings import check_all_pairs_once, make_ordering
+
+
+class TestVerifierAgreementOnParameterisedOrderings:
+    """Static gate vs dynamic predicates on the hybrid ordering across
+    its (n, n_groups) parameter space (uses the conftest fixtures)."""
+
+    @settings(deadline=None, max_examples=10,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(data=st.data())
+    def test_hybrid_static_and_dynamic_agree(self, ordering_verifier, data):
+        n = data.draw(st.sampled_from([16, 32, 64]))
+        n_groups = data.draw(st.sampled_from([2, 4]).filter(lambda g: 2 * g <= n))
+        o = make_ordering("hybrid", n, n_groups=n_groups)
+        report = ordering_verifier(o)
+        assert report.ok == check_all_pairs_once(o.sweep(0)).is_valid
+        assert report.ok, report.render()
 
 
 class TestEigProperties:

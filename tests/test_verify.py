@@ -1,0 +1,249 @@
+"""Tests of the static schedule verifier (repro.verify).
+
+Positive direction: every registered ordering, at every gate size, is
+clean under the uniform analysis — and clean *with* capacity checks on
+the topology the paper proves it contention-free on.  Negative
+direction: each corruption operator trips exactly the rule it is
+engineered for, by rule ID.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.machine.topology import make_topology
+from repro.orderings import make_ordering, ordering_names
+from repro.orderings.schedule import Move, Step
+from repro.verify import (
+    RULES,
+    Diagnostic,
+    channel_dependency_cycle,
+    check_restoration,
+    drop_exchange,
+    duplicate_pair,
+    lint_ordering,
+    lint_registry,
+    lint_schedule,
+    overload_link,
+    permutation_order,
+    reverse_ring_step,
+    rule_description,
+    unchecked_schedule,
+    unchecked_step,
+)
+
+GATE_SIZES = (8, 16, 32)
+
+
+class TestRegistryGate:
+    @pytest.mark.parametrize("name", ordering_names())
+    @pytest.mark.parametrize("n", GATE_SIZES)
+    def test_every_registered_ordering_is_clean(self, name, n):
+        report = lint_ordering(make_ordering(name, n))
+        assert report.ok, report.render()
+
+    def test_lint_registry_covers_all_names_and_sizes(self):
+        reports = lint_registry()
+        targets = {r.target for r in reports}
+        assert len(reports) == len(ordering_names()) * len(GATE_SIZES)
+        assert all(r.ok for r in reports)
+        assert "fat_tree(n=32)" in targets and "llb(n=8)" in targets
+
+    def test_unconstructible_size_is_skipped_not_failed(self):
+        reports = lint_registry(names=["fat_tree"], sizes=(6,))
+        assert len(reports) == 1
+        assert reports[0].ok
+        assert any(c.startswith("skipped:") for c in reports[0].checks)
+
+    @pytest.mark.parametrize("name,topo", [
+        ("fat_tree", "perfect"),
+        ("hybrid", "perfect"),
+        ("hybrid", "cm5"),
+        ("ring_new", "binary"),
+        ("ring_modified", "binary"),
+        ("llb", "perfect"),
+    ])
+    def test_paper_contention_claims_hold_statically(self, name, topo):
+        # Section 5: each ordering is contention-free on its native tree
+        n = 16
+        report = lint_ordering(make_ordering(name, n), make_topology(topo, n // 2))
+        assert report.ok, report.render()
+
+    def test_fat_tree_oversubscribes_binary_tree(self):
+        # ... and the fat-tree ordering is *not* clean on a skinny tree
+        n = 16
+        report = lint_ordering(make_ordering("fat_tree", n),
+                               make_topology("binary", n // 2))
+        assert not report.ok
+        assert "CAP003" in report.rules_fired()
+
+    def test_odd_even_remote_pairs_warn_but_do_not_fail(self):
+        report = lint_ordering(make_ordering("odd_even", 8))
+        assert report.ok
+        assert "RACE005" in report.rules_fired()
+        assert all(not d.is_error for d in report.diagnostics
+                   if d.rule == "RACE005")
+
+
+class TestCorruptedSchedules:
+    """The four deliberate corruptions fire their exact rule IDs."""
+
+    def test_duplicate_pair_fires_sweep001(self):
+        sched = duplicate_pair(make_ordering("fat_tree", 16).sweep(0))
+        report = lint_schedule(sched)
+        assert not report.ok
+        assert "SWEEP001" in report.rules_fired()
+
+    def test_dropped_exchange_fires_race003(self):
+        sched = drop_exchange(make_ordering("ring_new", 16).sweep(0))
+        report = lint_schedule(sched)
+        assert not report.ok
+        assert "RACE003" in report.rules_fired()
+
+    def test_reversed_ring_edge_fires_dir002(self):
+        sched = reverse_ring_step(make_ordering("ring_new", 16).sweep(0))
+        report = lint_schedule(sched)
+        assert not report.ok
+        assert "DIR002" in report.rules_fired()
+
+    def test_over_capacity_link_fires_cap003(self):
+        sched = overload_link(make_ordering("fat_tree", 16).sweep(0))
+        report = lint_schedule(sched, make_topology("perfect", 8))
+        assert not report.ok
+        assert "CAP003" in report.rules_fired()
+
+    def test_corruption_preserves_the_original(self):
+        base = make_ordering("ring_new", 8).sweep(0)
+        snapshot = [(s.pairs, s.moves) for s in base.steps]
+        for op in (duplicate_pair, drop_exchange, reverse_ring_step, overload_link):
+            op(base)
+        assert [(s.pairs, s.moves) for s in base.steps] == snapshot
+        assert lint_schedule(base).ok
+
+
+class TestRaceRules:
+    def test_slot_in_two_pairs_fires_race001(self):
+        step = unchecked_step(pairs=((0, 1), (1, 2)))
+        sched = unchecked_schedule(4, [step], "race1")
+        fired = lint_schedule(sched).rules_fired()
+        assert "RACE001" in fired
+
+    def test_duplicate_move_destination_fires_race002(self):
+        step = unchecked_step(pairs=((0, 1), (2, 3)),
+                              moves=(Move(0, 2), Move(1, 2), Move(2, 0), Move(3, 1)))
+        sched = unchecked_schedule(4, [step], "race2")
+        fired = lint_schedule(sched).rules_fired()
+        assert "RACE002" in fired
+
+    def test_lost_column_fires_race004(self):
+        # a move set that is a valid partial permutation per step can still
+        # be corrupted by hand to lose a column across steps: here slot 3's
+        # column is overwritten while its own content goes nowhere
+        step = unchecked_step(pairs=(), moves=(Move(0, 3),))
+        sched = unchecked_schedule(4, [step], "race4")
+        report = lint_schedule(sched)
+        fired = report.rules_fired()
+        assert "RACE003" in fired  # unmatched exchange is the root cause
+        assert "RACE004" in fired  # and the bijection break is detected too
+
+    def test_out_of_range_slot_fires_race004(self):
+        step = unchecked_step(pairs=((0, 9),))
+        sched = unchecked_schedule(4, [step], "race4b")
+        assert "RACE004" in lint_schedule(sched).rules_fired()
+
+
+class TestDirectionRules:
+    def test_multi_hop_ring_move_fires_dir003(self):
+        # jump two ring positions in one step: 8 columns on 4 leaves
+        sched = make_ordering("ring_new", 8).sweep(0)
+        jump = Step(pairs=(), moves=(Move(0, 4), Move(4, 0)))
+        broken = unchecked_schedule(8, [*sched.steps, jump], "dir3",
+                                    notes=sched.notes)
+        assert "DIR003" in lint_schedule(broken).rules_fired()
+
+    def test_channel_cycle_detection(self):
+        from repro.machine.topology import Channel
+
+        a = Channel(level=1, index=0, up=True)
+        b = Channel(level=1, index=1, up=True)
+        assert channel_dependency_cycle([[a, b], [b, a]]) is not None
+        assert channel_dependency_cycle([[a, b]]) is None
+        assert channel_dependency_cycle([]) is None
+
+    def test_tree_routing_is_deadlock_free_for_all_orderings(self):
+        topo = make_topology("perfect", 8)
+        for name in ordering_names():
+            report = lint_ordering(make_ordering(name, 16), topo)
+            assert "DIR001" not in report.rules_fired(), report.render()
+
+
+class TestSweepRules:
+    def test_permutation_order(self):
+        assert permutation_order([0, 1, 2]) == 1
+        assert permutation_order([1, 0, 2]) == 2
+        assert permutation_order([1, 2, 0, 4, 3]) == 6
+
+    def test_restoration_bound_enforced(self):
+        sched = make_ordering("ring_new", 8).sweep(0)
+        assert check_restoration(sched, max_period=2) == []
+        assert check_restoration(sched, max_period=1)[0].rule == "SWEEP003"
+
+    def test_llb_backward_exemption_is_exact(self):
+        # the omitted duplicate rotation is tolerated, but nothing more:
+        # the same backward sweep without its context still fails
+        o = make_ordering("llb", 16)
+        assert lint_ordering(o).ok
+        backward = o.sweep(1)
+        standalone = lint_schedule(backward)
+        assert "SWEEP002" in standalone.rules_fired()
+
+
+class TestDiagnostics:
+    def test_every_rule_has_severity_and_description(self):
+        for rule, (severity, _) in RULES.items():
+            assert severity in ("error", "warning")
+            assert rule_description(rule)
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic(rule="NOPE001", message="x")
+
+    def test_report_json_roundtrip(self):
+        report = lint_ordering(make_ordering("odd_even", 8))
+        blob = json.dumps(report.to_dict())
+        data = json.loads(blob)
+        assert data["ok"] is True
+        assert {d["rule"] for d in data["diagnostics"]} == {"RACE005"}
+
+
+@pytest.mark.lint
+class TestLintCLI:
+    def test_default_gate_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "all clean" in out
+
+    def test_single_target(self, capsys):
+        assert main(["lint", "--ordering", "ring_new", "--n", "8",
+                     "--topology", "binary"]) == 0
+        assert "ring_new(n=8): ok" in capsys.readouterr().out
+
+    def test_finding_sets_exit_code(self, capsys):
+        rc = main(["lint", "--ordering", "fat_tree", "--n", "8",
+                   "--topology", "binary"])
+        assert rc == 1
+        assert "CAP003" in capsys.readouterr().out
+
+    def test_json_output_is_machine_readable(self, capsys):
+        assert main(["lint", "--ordering", "hybrid", "--n", "16",
+                     "--topology", "cm5", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+        assert data["reports"][0]["target"] == "hybrid(n=16)"
+
+    def test_unknown_ordering_is_usage_error(self, capsys):
+        assert main(["lint", "--ordering", "nope"]) == 2
+
+    def test_unknown_topology_is_usage_error(self, capsys):
+        assert main(["lint", "--topology", "nope"]) == 2
