@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-tools lint-schedules bench
+.PHONY: test lint lint-tools lint-schedules bench bench-figures
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,5 +34,12 @@ lint-schedules:
 	$(PYTHON) -m repro.cli lint --ordering hybrid --topology cm5
 	$(PYTHON) -m repro.cli lint --ordering ring_new --ordering ring_modified --topology binary
 
+# the perf-regression harness: timed scenarios (reference vs batched
+# kernels, parallel simulator, lint latency) -> BENCH_local.json;
+# compare a later run with `repro-harness bench --compare BENCH_local.json`
 bench:
+	$(PYTHON) -m repro.cli bench --tag local
+
+# timed replays of the paper's figures/tables via pytest-benchmark
+bench-figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

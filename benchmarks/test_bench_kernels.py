@@ -1,0 +1,35 @@
+"""Timed reference-vs-batched rotation kernel comparison.
+
+The pytest-benchmark twin of the ``svd/*`` scenarios in
+``repro-harness bench``: one artefact per (kernel, ordering) pair at
+n = 64, asserting the batched kernel's result stays golden while the
+benchmark fixture records the timing.  The JSON-reporting harness in
+``repro.bench`` is the CI regression gate; these are for interactive
+``pytest benchmarks/ --benchmark-only`` sessions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.orderings import make_ordering
+from repro.svd import JacobiOptions, jacobi_svd
+
+N = 64
+
+
+def _matrix():
+    rng = np.random.default_rng(2024)
+    return rng.standard_normal((N + 16, N))
+
+
+@pytest.mark.parametrize("ordering", ["fat_tree", "ring_new"])
+@pytest.mark.parametrize("kernel", ["reference", "batched"])
+def test_kernel_timing(benchmark, kernel, ordering):
+    a = _matrix()
+    o = make_ordering(ordering, N)
+    options = JacobiOptions(kernel=kernel)
+
+    r = benchmark(lambda: jacobi_svd(a, ordering=o, options=options))
+    assert r.converged
+    lap = np.linalg.svd(a, compute_uv=False)
+    assert np.max(np.abs(r.sigma - lap)) < 1e-11 * lap[0]

@@ -1,0 +1,158 @@
+"""Named benchmark scenarios.
+
+Three kinds of workload, matching the trajectories the ROADMAP wants
+protected:
+
+``svd-kernel``       one full serial :func:`~repro.svd.jacobi_svd` run
+                     with a chosen rotation kernel, ordering and size —
+                     the batched-vs-reference pairs yield the headline
+                     speedups;
+``parallel-sweeps``  sweep throughput of the simulated tree machine
+                     (:class:`~repro.parallel.ParallelJacobiSVD`),
+                     i.e. real wall time of the simulator, not modelled
+                     machine time;
+``lint``             latency of the static schedule verifier over the
+                     ordering registry.
+
+Scenario inputs are deterministic (fixed seed), and orderings/drivers
+are constructed *outside* the timed region — ordering construction is a
+large fraction of a small run's wall time and would otherwise drown the
+kernel signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..util.validation import require
+from .timing import time_callable
+
+__all__ = ["Scenario", "default_scenarios", "run_scenario", "scenario_names"]
+
+#: seed for every generated benchmark matrix — results must be comparable
+#: across runs and machines
+_SEED = 2024
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, self-contained timing target."""
+
+    name: str
+    kind: str  # "svd-kernel" | "parallel-sweeps" | "lint"
+    params: dict[str, Any] = field(default_factory=dict)
+    #: name of the baseline scenario this one is reported as a speedup
+    #: against (the batched kernel points at its reference twin)
+    reference: str | None = None
+
+
+def _svd_scenario(kernel: str, ordering: str, n: int) -> Scenario:
+    ref = None if kernel == "reference" else f"svd/reference/{ordering}/n{n}"
+    return Scenario(
+        name=f"svd/{kernel}/{ordering}/n{n}",
+        kind="svd-kernel",
+        params={"kernel": kernel, "ordering": ordering, "n": n, "m": n + 16},
+        reference=ref,
+    )
+
+
+def default_scenarios(quick: bool = False) -> list[Scenario]:
+    """The shipped scenario list.
+
+    Full mode: kernels x {fat_tree, ring_new} x n in {32, 64}, plus the
+    parallel simulator and the lint gate (10 scenarios).  ``quick`` mode
+    shrinks every size for CI smoke runs (6 scenarios) while keeping the
+    same name structure.
+    """
+    sizes = (16,) if quick else (32, 64)
+    out = []
+    for n in sizes:
+        for ordering in ("fat_tree", "ring_new"):
+            for kernel in ("reference", "batched"):
+                out.append(_svd_scenario(kernel, ordering, n))
+    pn = 8 if quick else 32
+    out.append(
+        Scenario(
+            name=f"parallel/hybrid/cm5/n{pn}",
+            kind="parallel-sweeps",
+            params={"topology": "cm5", "ordering": "hybrid", "n": pn, "m": pn + 8},
+        )
+    )
+    out.append(
+        Scenario(
+            name="lint/registry",
+            kind="lint",
+            params={"sizes": [8] if quick else [8, 16]},
+        )
+    )
+    return out
+
+
+def scenario_names(quick: bool = False) -> list[str]:
+    return [s.name for s in default_scenarios(quick)]
+
+
+def run_scenario(
+    scenario: Scenario, repeats: int = 5, warmup: int = 1
+) -> dict[str, Any]:
+    """Execute one scenario; returns its schema record (see report.py)."""
+    meta: dict[str, Any] = {}
+    p = scenario.params
+    if scenario.kind == "svd-kernel":
+        from ..orderings import make_ordering
+        from ..svd.hestenes import JacobiOptions, jacobi_svd
+
+        rng = np.random.default_rng(_SEED)
+        a = rng.standard_normal((p["m"], p["n"]))
+        ordering = make_ordering(p["ordering"], p["n"])
+        options = JacobiOptions(kernel=p["kernel"])
+
+        def work() -> None:
+            r = jacobi_svd(a, ordering=ordering, options=options)
+            meta.update(
+                sweeps=r.sweeps,
+                rotations=r.rotations,
+                converged=bool(r.converged),
+            )
+
+    elif scenario.kind == "parallel-sweeps":
+        from ..parallel.driver import ParallelJacobiSVD
+
+        rng = np.random.default_rng(_SEED)
+        a = rng.standard_normal((p["m"], p["n"]))
+        driver = ParallelJacobiSVD(topology=p["topology"], ordering=p["ordering"])
+
+        def work() -> None:
+            r, rep = driver.compute(a)
+            meta.update(
+                sweeps=r.sweeps,
+                rotations=r.rotations,
+                converged=bool(r.converged),
+                model_time=rep.total_time,
+            )
+
+    elif scenario.kind == "lint":
+        from ..verify import lint_registry
+
+        sizes = tuple(p["sizes"])
+
+        def work() -> None:
+            reports = lint_registry(sizes=sizes)
+            meta.update(targets=len(reports), clean=all(r.ok for r in reports))
+
+    else:
+        require(False, f"unknown scenario kind {scenario.kind!r}")
+
+    timing = time_callable(work, repeats=repeats, warmup=warmup)
+    return {
+        "name": scenario.name,
+        "kind": scenario.kind,
+        "params": dict(p),
+        "reference": scenario.reference,
+        "wall_time_s": timing.median_s,
+        "times_s": list(timing.times_s),
+        "meta": meta,
+    }

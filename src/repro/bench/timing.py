@@ -1,0 +1,69 @@
+"""Wall-clock timing primitives for the benchmark harness.
+
+Small and deliberately boring: monotonic clocks only
+(``time.perf_counter``), explicit warmup iterations to absorb one-time
+costs (allocator pools, schedule caches, BLAS thread spin-up), and the
+median over repeats as the headline number — the median is robust to the
+one-sided noise (interrupts, frequency ramps) that contaminates means.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..util.validation import require
+
+__all__ = ["Timing", "median", "time_callable"]
+
+
+def median(values: list[float] | tuple[float, ...]) -> float:
+    """Median without pulling in ``statistics`` (ties averaged)."""
+    require(len(values) > 0, "median of an empty sample")
+    s = sorted(values)
+    mid = len(s) // 2
+    if len(s) % 2:
+        return s[mid]
+    return 0.5 * (s[mid - 1] + s[mid])
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Raw repeat timings of one scenario (seconds, monotonic clock)."""
+
+    times_s: tuple[float, ...]
+    warmup: int
+
+    @property
+    def repeats(self) -> int:
+        return len(self.times_s)
+
+    @property
+    def median_s(self) -> float:
+        return median(self.times_s)
+
+    @property
+    def best_s(self) -> float:
+        return min(self.times_s)
+
+    @property
+    def mean_s(self) -> float:
+        return sum(self.times_s) / len(self.times_s)
+
+
+def time_callable(
+    fn: Callable[[], object], repeats: int = 5, warmup: int = 1
+) -> Timing:
+    """Time ``fn()`` with ``warmup`` discarded runs then ``repeats`` measured
+    ones."""
+    require(repeats >= 1, "need at least one measured repeat")
+    require(warmup >= 0, "warmup count must be non-negative")
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return Timing(times_s=tuple(times), warmup=warmup)

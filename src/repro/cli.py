@@ -11,6 +11,9 @@ Subcommands
                                  run one decomposition and report telemetry
 ``lint [--ordering O ...] [--n N ...] [--topology T] [--json]``
                                  statically verify schedules (exit 1 on findings)
+``bench [--tag T] [--compare OLD.json] [--quick] [--json]``
+                                 run the timing harness, write BENCH_<tag>.json
+                                 (exit 1 on perf regression vs --compare)
 """
 
 from __future__ import annotations
@@ -51,6 +54,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--serial", action="store_true",
                      help="use the serial driver (no machine simulation)")
+    run.add_argument("--kernel", default="reference",
+                     choices=["reference", "batched"],
+                     help="rotation kernel (batched = fused fast path)")
 
     lint = sub.add_parser(
         "lint",
@@ -68,6 +74,34 @@ def build_parser() -> argparse.ArgumentParser:
                            "topology (default: structural checks only)")
     lint.add_argument("--json", action="store_true",
                       help="emit a machine-readable JSON report")
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the named scenarios (kernels, parallel simulator, lint "
+             "gate) and write a schema-versioned BENCH_<tag>.json",
+    )
+    bench.add_argument("--tag", default="local",
+                       help="report tag; output file is BENCH_<tag>.json")
+    bench.add_argument("--out", default=".", metavar="DIR",
+                       help="directory the report is written to")
+    bench.add_argument("--repeats", type=int, default=5,
+                       help="measured repeats per scenario (median reported)")
+    bench.add_argument("--warmup", type=int, default=1,
+                       help="discarded warmup runs per scenario")
+    bench.add_argument("--quick", action="store_true",
+                       help="tiny problem sizes (CI smoke mode)")
+    bench.add_argument("--scenario", action="append", default=None,
+                       metavar="NAME", dest="scenarios",
+                       help="run only this scenario (repeatable)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the full report JSON to stdout")
+    bench.add_argument("--compare", default=None, metavar="OLD.json",
+                       help="compare against a previous report; exit 1 when "
+                            "any shared scenario regressed")
+    bench.add_argument("--max-slowdown", type=float, default=20.0,
+                       metavar="PCT",
+                       help="allowed per-scenario slowdown for --compare "
+                            "(percent, default 20)")
     return p
 
 
@@ -89,6 +123,93 @@ def _harness():
             spec.loader.exec_module(mod)
             return mod.EXPERIMENTS
     raise RuntimeError("benchmarks/harness.py not found; run from the repository")
+
+
+def _bench(args: argparse.Namespace) -> int:
+    """The ``bench`` subcommand body; returns a process exit code
+    (0 clean, 1 regression vs --compare, 2 usage/validation error)."""
+    import json
+    import os
+    import re
+
+    from repro.bench import (
+        build_report,
+        compare_reports,
+        default_scenarios,
+        load_report,
+        render_report,
+        run_scenario,
+        validate_report,
+        write_report,
+    )
+
+    if not re.fullmatch(r"[A-Za-z0-9._-]+", args.tag):
+        print(f"invalid tag {args.tag!r}: use letters, digits, . _ -")
+        return 2
+    if args.repeats < 1 or args.warmup < 0:
+        print("need --repeats >= 1 and --warmup >= 0")
+        return 2
+    if args.max_slowdown <= 0:
+        print("--max-slowdown must be a positive percentage")
+        return 2
+    old = None
+    if args.compare is not None:
+        # fail on a bad baseline *before* spending time measuring
+        try:
+            old = load_report(args.compare)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read {args.compare}: {exc}")
+            return 2
+        problems = validate_report(old)
+        if problems:
+            print(f"invalid report {args.compare}:")
+            for msg in problems:
+                print(f"  - {msg}")
+            return 2
+
+    scens = default_scenarios(quick=args.quick)
+    if args.scenarios:
+        by_name = {s.name: s for s in scens}
+        unknown = [n for n in args.scenarios if n not in by_name]
+        if unknown:
+            print(f"unknown scenario(s) {unknown}; "
+                  f"available: {', '.join(by_name)}")
+            return 2
+        scens = [by_name[n] for n in args.scenarios]
+
+    records = []
+    for s in scens:
+        if not args.json:
+            print(f"timing {s.name} ...", flush=True)
+        records.append(run_scenario(s, repeats=args.repeats, warmup=args.warmup))
+    doc = build_report(args.tag, records, repeats=args.repeats,
+                       warmup=args.warmup, quick=args.quick)
+    path = os.path.join(args.out, f"BENCH_{args.tag}.json")
+    write_report(doc, path)
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(render_report(doc))
+        print(f"wrote {path}")
+
+    if old is not None:
+        regressions, compared = compare_reports(
+            old, doc, max_slowdown=args.max_slowdown / 100.0
+        )
+        if not compared:
+            print(f"no shared scenarios with {args.compare}; nothing compared")
+            return 0
+        if regressions:
+            print(f"PERF REGRESSION vs {args.compare} "
+                  f"(> {args.max_slowdown:g}% slower):")
+            for r in regressions:
+                print(f"  {r['name']}: {r['old_wall_time_s'] * 1e3:.3f} ms -> "
+                      f"{r['new_wall_time_s'] * 1e3:.3f} ms "
+                      f"({r['ratio']:.2f}x)")
+            return 1
+        print(f"{len(compared)} scenario(s) compared against "
+              f"{args.compare}: no regression")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -155,19 +276,23 @@ def main(argv: list[str] | None = None) -> int:
                   f"{n_warn} warning(s)")
         return 0 if ok else 1
 
+    if args.command == "bench":
+        return _bench(args)
+
     if args.command == "svd":
         rng = np.random.default_rng(args.seed)
         a = rng.standard_normal((args.m, args.n))
         if args.serial:
             from repro import svd
 
-            r = svd(a, ordering=args.ordering)
+            r = svd(a, ordering=args.ordering, kernel=args.kernel)
             print(f"converged={r.converged} sweeps={r.sweeps} "
                   f"rotations={r.rotations} sorted={r.emerged_sorted}")
         else:
             from repro import parallel_svd
 
-            r, rep = parallel_svd(a, topology=args.topology, ordering=args.ordering)
+            r, rep = parallel_svd(a, topology=args.topology,
+                                  ordering=args.ordering, kernel=args.kernel)
             print(f"converged={r.converged} sweeps={r.sweeps}")
             print(f"total={rep.total_time:.0f} compute={rep.compute_time:.0f} "
                   f"comm={rep.comm_time:.0f}")

@@ -9,6 +9,8 @@ the execution telemetry alongside the decomposition.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from ..machine.costmodel import CostModel
@@ -27,10 +29,19 @@ def _needs_power_of_two(ordering: str | Ordering) -> bool:
     return name in ("fat_tree", "llb", "hybrid")
 
 
+def _with_kernel(
+    options: JacobiOptions | None, kernel: str | None
+) -> JacobiOptions | None:
+    if kernel is None:
+        return options
+    return dataclasses.replace(options or JacobiOptions(), kernel=kernel)
+
+
 def svd(
     a: np.ndarray,
     ordering: str | Ordering = "fat_tree",
     options: JacobiOptions | None = None,
+    kernel: str | None = None,
     **ordering_kwargs: object,
 ) -> SVDResult:
     """One-sided Jacobi SVD of ``a`` (m x n, m >= n) under a parallel ordering.
@@ -38,8 +49,13 @@ def svd(
     Matrices whose width is not admissible for the chosen ordering
     (power of two for the tree orderings, even otherwise) are transparently
     zero-padded and the result stripped back to ``n`` columns.
+
+    ``kernel`` (``"reference"`` or ``"batched"``) overrides the rotation
+    kernel of ``options``; the batched kernel fuses each parallel step
+    into a single gathered 2x2 block transform and is the fast path.
     """
     a = np.asarray(a, dtype=np.float64)
+    options = _with_kernel(options, kernel)
     n = a.shape[1]
     pow2 = _needs_power_of_two(ordering)
     admissible = (is_power_of_two(n) and n >= 4) if pow2 else (n % 2 == 0)
@@ -57,10 +73,12 @@ def parallel_svd(
     ordering: str | Ordering = "hybrid",
     cost_model: CostModel | None = None,
     options: JacobiOptions | None = None,
+    kernel: str | None = None,
     **ordering_kwargs: object,
 ) -> tuple[SVDResult, ParallelRunReport]:
     """Distributed SVD on a simulated tree machine; returns result + telemetry."""
     a = np.asarray(a, dtype=np.float64)
+    options = _with_kernel(options, kernel)
     pow2 = _needs_power_of_two(ordering)
     padded, orig = pad_columns(a, power_of_two=pow2)
     driver = ParallelJacobiSVD(

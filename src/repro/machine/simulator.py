@@ -17,7 +17,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..orderings.schedule import Schedule
-from ..svd.rotations import RotationStats, apply_step_rotations
+from ..svd.rotations import (
+    RotationStats,
+    apply_step_rotations,
+    apply_step_rotations_batched,
+    column_norms_sq,
+)
 from ..util.bits import leaf_of_slot
 from ..util.validation import require
 from .costmodel import CostModel
@@ -37,13 +42,20 @@ class TreeMachine:
         self.X: np.ndarray | None = None
         self.V: np.ndarray | None = None
         self.labels: np.ndarray | None = None
+        self.kernel: str = "reference"
+        self._norms_sq: np.ndarray | None = None
 
     @property
     def n_slots(self) -> int:
         return 2 * self.topology.n_leaves
 
-    def load(self, a: np.ndarray, compute_v: bool = True) -> None:
+    def load(self, a: np.ndarray, compute_v: bool = True,
+             kernel: str = "reference") -> None:
         """Distribute the columns of ``a`` over the leaves (slot i = col i)."""
+        from ..svd.hestenes import KERNELS
+
+        require(kernel in KERNELS,
+                f"unknown kernel {kernel!r}; available: {', '.join(KERNELS)}")
         a = np.asarray(a, dtype=np.float64)
         require(a.ndim == 2, "matrix expected")
         require(a.shape[1] == self.n_slots,
@@ -51,6 +63,10 @@ class TreeMachine:
         self.X = a.copy()
         self.V = np.eye(a.shape[1]) if compute_v else None
         self.labels = np.arange(a.shape[1], dtype=np.intp)
+        self.kernel = kernel
+        # the batched kernel's cross-sweep squared-norm cache, kept in
+        # slot order (X/V stay the canonical storage between sweeps)
+        self._norms_sq = column_norms_sq(self.X) if kernel == "batched" else None
 
     def run_sweep(
         self,
@@ -64,6 +80,14 @@ class TreeMachine:
         require(schedule.n == self.n_slots, "schedule size != machine size")
         X, V, labels = self.X, self.V, self.labels
         m = X.shape[0]
+        batched = self.kernel == "batched"
+        if batched:
+            # column-as-row working buffer for this sweep; X/V remain the
+            # canonical storage so the telemetry/inspection surface is
+            # kernel-agnostic (conversion is one transpose either way)
+            stack = np.vstack((X, V)) if V is not None else X
+            WT = np.ascontiguousarray(stack.T)
+            norms_sq = self._norms_sq
         stats = SweepStats()
         rstats = RotationStats()
         worst = 0.0
@@ -74,9 +98,16 @@ class TreeMachine:
                 a = np.fromiter((p[0] for p in step.pairs), dtype=np.intp)
                 b = np.fromiter((p[1] for p in step.pairs), dtype=np.intp)
                 flip = labels[a] > labels[b]
-                left = np.where(flip, b, a)
-                right = np.where(flip, a, b)
-                st, mx = apply_step_rotations(X, V, left, right, tol, sort)
+                if batched:
+                    ab = np.column_stack((a, b))
+                    P = np.where(flip[:, None], ab[:, ::-1], ab)
+                    st, mx = apply_step_rotations_batched(
+                        WT, P, tol, sort, norms_sq, m
+                    )
+                else:
+                    left = np.where(flip, b, a)
+                    right = np.where(flip, a, b)
+                    st, mx = apply_step_rotations(X, V, left, right, tol, sort)
                 rstats.merge(st)
                 worst = max(worst, mx)
                 rotations = len(step.pairs)
@@ -96,10 +127,14 @@ class TreeMachine:
             if step.moves:
                 src = np.fromiter((mv.src for mv in step.moves), dtype=np.intp)
                 dst = np.fromiter((mv.dst for mv in step.moves), dtype=np.intp)
-                X[:, dst] = X[:, src]
+                if batched:
+                    WT[dst] = WT[src]
+                    norms_sq[dst] = norms_sq[src]
+                else:
+                    X[:, dst] = X[:, src]
+                    if V is not None:
+                        V[:, dst] = V[:, src]
                 labels[dst] = labels[src]
-                if V is not None:
-                    V[:, dst] = V[:, src]
                 phase = route_phase(
                     self.topology,
                     ((leaf_of_slot(mv.src), leaf_of_slot(mv.dst)) for mv in step.moves),
@@ -122,6 +157,10 @@ class TreeMachine:
                     comm_time=comm_t,
                 )
             )
+        if batched:
+            X[:] = WT[:, :m].T
+            if V is not None:
+                V[:] = WT[:, m:].T
         return stats, rstats, worst
 
     def column_norms(self) -> np.ndarray:

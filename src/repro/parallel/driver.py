@@ -101,8 +101,8 @@ class ParallelJacobiSVD:
         m, n = a.shape
         # n > m is allowed for zero-padded inputs (at most m nonzero sigma)
         machine, ordering = self._build(n)
-        machine.load(a, compute_v=compute_uv)
         opts = self.options
+        machine.load(a, compute_v=compute_uv, kernel=opts.kernel)
         report = ParallelRunReport()
         history: list[SweepRecord] = []
         converged = False

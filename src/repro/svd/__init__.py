@@ -1,19 +1,28 @@
 """One-sided (Hestenes) Jacobi SVD numerics."""
 
 from .convergence import off_norm, quadratic_rate_ok, relative_off
-from .hestenes import JacobiOptions, hestenes_sweeps, jacobi_svd
+from .hestenes import KERNELS, JacobiOptions, hestenes_sweeps, jacobi_svd
 from .reference import accuracy_report, reference_singular_values
-from .rotations import RotationStats, apply_step_rotations, rotation_params
+from .rotations import (
+    RotationStats,
+    apply_step_rotations,
+    apply_step_rotations_batched,
+    column_norms_sq,
+    rotation_params,
+)
 from .thresholds import FixedThreshold, StagedThreshold, ThresholdStrategy
 
 __all__ = [
     "FixedThreshold",
     "JacobiOptions",
+    "KERNELS",
     "StagedThreshold",
     "ThresholdStrategy",
     "RotationStats",
     "accuracy_report",
     "apply_step_rotations",
+    "apply_step_rotations_batched",
+    "column_norms_sq",
     "hestenes_sweeps",
     "jacobi_svd",
     "off_norm",

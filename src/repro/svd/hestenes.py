@@ -27,10 +27,20 @@ from ..orderings.base import Ordering
 from ..orderings.registry import make_ordering
 from ..util.validation import require
 from .convergence import off_norm
-from .rotations import RotationStats, apply_step_rotations
+from .rotations import (
+    RotationStats,
+    apply_step_rotations,
+    apply_step_rotations_batched,
+    column_norms_sq,
+)
 from .thresholds import ThresholdStrategy
 
-__all__ = ["JacobiOptions", "jacobi_svd", "hestenes_sweeps"]
+__all__ = ["KERNELS", "JacobiOptions", "jacobi_svd", "hestenes_sweeps"]
+
+#: registered rotation kernels: ``reference`` is the per-quantity masked
+#: implementation the numerics are specified by; ``batched`` is the fused
+#: gather/2x2-transform/scatter fast path with the cross-sweep norm cache
+KERNELS = ("reference", "batched")
 
 
 @dataclass(frozen=True)
@@ -52,6 +62,11 @@ class JacobiOptions:
     ``threshold_strategy``
         Optional per-sweep *rotation* threshold schedule (Wilkinson's
         staged strategy); termination always uses ``tol``.
+    ``kernel``
+        Rotation kernel: ``"reference"`` (masked per-quantity updates) or
+        ``"batched"`` (fused 2x2 batch transforms over stacked ``[X; V]``
+        with a cross-sweep column-norm cache — same results to rounding,
+        measurably faster; see ``repro.bench``).
     """
 
     tol: float = 1e-12
@@ -59,6 +74,7 @@ class JacobiOptions:
     sort: str | None = "desc"
     rank_tol: float = 1e-12
     threshold_strategy: "ThresholdStrategy | None" = None
+    kernel: str = "reference"
 
 
 def _resolve_ordering(ordering: str | Ordering, n: int, **kwargs: object) -> Ordering:
@@ -66,6 +82,28 @@ def _resolve_ordering(ordering: str | Ordering, n: int, **kwargs: object) -> Ord
         require(ordering.n == n, f"ordering built for n={ordering.n}, matrix has n={n}")
         return ordering
     return make_ordering(ordering, n, **kwargs)
+
+
+def _schedule_arrays(
+    sched: object,
+) -> list[tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None]]:
+    """Per-step index arrays ``(pairs (k,2), move src, move dst)`` of a
+    schedule, converted once so the sweep loop is free of per-step Python
+    iteration over tuples."""
+    out: list[tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None]] = []
+    for step in sched.steps:  # type: ignore[attr-defined]
+        ab = (
+            np.asarray(step.pairs, dtype=np.intp).reshape(-1, 2)
+            if step.pairs
+            else None
+        )
+        if step.moves:
+            src = np.fromiter((m.src for m in step.moves), dtype=np.intp)
+            dst = np.fromiter((m.dst for m in step.moves), dtype=np.intp)
+        else:
+            src = dst = None
+        out.append((ab, src, dst))
+    return out
 
 
 def hestenes_sweeps(
@@ -79,7 +117,27 @@ def hestenes_sweeps(
     ``X`` (m x n) is transformed into ``H = A V``; ``V`` accumulates the
     rotations when given.  Column moves of the schedule are applied to
     both, mirroring the machine's communication phases.
+
+    With ``options.kernel == "batched"`` the loop works on the stacked
+    array ``W = [X; V]`` so data and vector columns advance in one fused
+    update per step, and the Gram quantities ``alpha``/``beta`` come from
+    a cross-sweep squared-norm cache maintained via the rotation
+    invariants (permuted alongside the schedule's column moves) — only
+    ``gamma`` costs a fresh dot product per pair.
     """
+    require(options.kernel in KERNELS,
+            f"unknown kernel {options.kernel!r}; available: {', '.join(KERNELS)}")
+    if options.kernel == "batched":
+        return _sweeps_batched(X, V, ordering, options)
+    return _sweeps_reference(X, V, ordering, options)
+
+
+def _sweeps_reference(
+    X: np.ndarray,
+    V: np.ndarray | None,
+    ordering: Ordering,
+    options: JacobiOptions,
+) -> tuple[list[SweepRecord], bool, int]:
     n = X.shape[1]
     history: list[SweepRecord] = []
     converged = False
@@ -89,30 +147,33 @@ def hestenes_sweeps(
     # exchanges — the exchanges are what places the larger-norm column at
     # the slot "associated with the index of a smaller number" (Section 4)
     labels = np.arange(n, dtype=np.intp)
+    # schedules are cached per ordering, so converted index arrays can be
+    # memoised by schedule identity across sweeps
+    arrays_cache: dict[int, list] = {}
     for sweep in range(options.max_sweeps):
         sched = ordering.sweep(sweep)
+        steps = arrays_cache.get(id(sched))
+        if steps is None:
+            steps = arrays_cache[id(sched)] = _schedule_arrays(sched)
         stats = RotationStats()
         worst = 0.0
         rot_tol = options.tol
         if options.threshold_strategy is not None:
             rot_tol = max(options.threshold_strategy.threshold(sweep), options.tol)
-        for step in sched.steps:
-            if step.pairs:
-                a = np.fromiter((p[0] for p in step.pairs), dtype=np.intp)
-                b = np.fromiter((p[1] for p in step.pairs), dtype=np.intp)
+        for ab, src, dst in steps:
+            if ab is not None:
                 # orient each pair by its tracked labels so the sorting
                 # exchanges are consistent along schedule trajectories
-                flip = labels[a] > labels[b]
-                left = np.where(flip, b, a)
-                right = np.where(flip, a, b)
+                la = labels[ab]
+                flip = la[:, 0] > la[:, 1]
+                left = np.where(flip, ab[:, 1], ab[:, 0])
+                right = np.where(flip, ab[:, 0], ab[:, 1])
                 st, mx = apply_step_rotations(X, V, left, right, rot_tol, options.sort)
                 stats.merge(st)
                 worst = max(worst, mx)
-            if step.moves:
-                src = np.fromiter((m.src for m in step.moves), dtype=np.intp)
-                dst = np.fromiter((m.dst for m in step.moves), dtype=np.intp)
-                X[:, dst] = X[:, src]
+            if src is not None:
                 labels[dst] = labels[src]
+                X[:, dst] = X[:, src]
                 if V is not None:
                     V[:, dst] = V[:, src]
         sweeps_done = sweep + 1
@@ -130,6 +191,110 @@ def hestenes_sweeps(
         if worst <= options.tol and stats.exchanged == 0:
             converged = True
             break
+    return history, converged, sweeps_done
+
+
+def _sweeps_batched(
+    X: np.ndarray,
+    V: np.ndarray | None,
+    ordering: Ordering,
+    options: JacobiOptions,
+) -> tuple[list[SweepRecord], bool, int]:
+    """Batched-kernel sweep loop.
+
+    Works on ``WT``, the stacked factor ``[X; V]`` in column-as-row
+    layout, with three structural optimisations over the reference loop:
+
+    * schedule column moves advance a slot-to-row indirection instead of
+      copying data (moves in every shipped ordering are slot
+      permutations; a non-permutation move step falls back to a physical
+      row copy so custom schedules keep reference semantics);
+    * per-step oriented pair/row index arrays are cached keyed on the
+      (schedule, labels, indirection) state at sweep start — the
+      trajectory repeats with the ordering's restoration period, so the
+      label-orientation and indirection lookups are paid once, not every
+      sweep;
+    * Gram quantities ``alpha``/``beta`` come from the cross-sweep
+      squared-norm cache maintained by the kernel (keyed by physical
+      row, so indirection moves never touch it).
+    """
+    m, n = X.shape
+    history: list[SweepRecord] = []
+    converged = False
+    sweeps_done = 0
+    stack = np.vstack((X, V)) if V is not None else X
+    WT = np.ascontiguousarray(stack.T)  # row j = stacked column j
+    Xdata = WT[:, :m].T  # data part view; off_norm is permutation-invariant
+    norms_sq = column_norms_sq(Xdata)  # keyed by physical row
+    labels = np.arange(n, dtype=np.intp)
+    rowof = np.arange(n, dtype=np.intp)  # slot -> physical row of WT
+    sched_cache: dict[int, list] = {}
+    plan_cache: dict = {}
+    for sweep in range(options.max_sweeps):
+        sched = ordering.sweep(sweep)
+        key = (id(sched), labels.tobytes(), rowof.tobytes())
+        entry = plan_cache.get(key)
+        if entry is None:
+            steps = sched_cache.get(id(sched))
+            if steps is None:
+                steps = sched_cache[id(sched)] = _schedule_arrays(sched)
+            plan: list = []
+            for ab, src, dst in steps:
+                P = csrc = cdst = None
+                if ab is not None:
+                    # orient each pair by its tracked labels so the
+                    # sorting exchanges are consistent along schedule
+                    # trajectories, then resolve slots to physical rows
+                    la = labels[ab]
+                    flip = la[:, 0] > la[:, 1]
+                    P = rowof[np.where(flip[:, None], ab[:, ::-1], ab)]
+                if src is not None:
+                    labels[dst] = labels[src]
+                    if np.array_equal(np.sort(src), np.sort(dst)):
+                        rowof[dst] = rowof[src]
+                    else:  # pragma: no cover - no shipped ordering hits this
+                        csrc = rowof[src]
+                        cdst = rowof[dst]
+                if P is not None or csrc is not None:
+                    plan.append((P, csrc, cdst))
+            entry = plan_cache[key] = (plan, labels.copy(), rowof.copy())
+        stats = RotationStats()
+        worst = 0.0
+        rot_tol = options.tol
+        if options.threshold_strategy is not None:
+            rot_tol = max(options.threshold_strategy.threshold(sweep), options.tol)
+        for P, csrc, cdst in entry[0]:
+            if P is not None:
+                st, mx = apply_step_rotations_batched(
+                    WT, P, rot_tol, options.sort, norms_sq, m
+                )
+                stats.merge(st)
+                worst = max(worst, mx)
+            if csrc is not None:  # pragma: no cover - non-permutation moves
+                WT[cdst] = WT[csrc]
+                norms_sq[cdst] = norms_sq[csrc]
+        labels = entry[1].copy()
+        rowof = entry[2].copy()
+        sweeps_done = sweep + 1
+        history.append(
+            SweepRecord(
+                sweep=sweeps_done,
+                off_norm=off_norm(Xdata),
+                max_rel_gamma=worst,
+                rotations=stats.applied,
+                skipped=stats.skipped,
+            )
+        )
+        # the paper's rule: stop after a complete sweep in which all
+        # columns were orthogonal AND no columns were interchanged
+        if worst <= options.tol and stats.exchanged == 0:
+            converged = True
+            break
+    # undo the indirection and copy the factors back to the caller
+    slot_rows = WT[rowof]
+    X[:] = slot_rows[:, :m].T
+    if V is not None:
+        V[:] = slot_rows[:, m:].T
     return history, converged, sweeps_done
 
 

@@ -29,7 +29,32 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["RotationStats", "rotation_params", "apply_step_rotations"]
+__all__ = [
+    "RotationStats",
+    "rotation_params",
+    "apply_step_rotations",
+    "apply_step_rotations_batched",
+    "column_norms_sq",
+]
+
+#: squared-norm agreement below this relative slack counts as a tie and
+#: does not trigger a sorting exchange (keeps noise-level differences
+#: from delaying the "no columns interchanged" termination rule)
+SORT_SLACK = 32.0 * np.finfo(np.float64).eps
+
+_SORT_MODES = ("desc", "asc", None)
+
+
+def _validate_sort(sort: str | None) -> None:
+    # an unrecognised string used to silently behave like ``None`` and
+    # disable the sorting convention altogether; fail loudly instead
+    if sort not in _SORT_MODES:
+        raise ValueError(f"sort must be one of {_SORT_MODES}, got {sort!r}")
+
+
+def column_norms_sq(X: np.ndarray) -> np.ndarray:
+    """Squared column norms of ``X`` (the cache seed for the batched kernel)."""
+    return np.einsum("ij,ij->j", X, X)
 
 
 @dataclass
@@ -97,6 +122,7 @@ def apply_step_rotations(
     ``|gamma| / sqrt(alpha beta)`` observed *before* rotating (the sweep
     convergence measure).
     """
+    _validate_sort(sort)
     stats = RotationStats()
     if left.size == 0:
         return stats, 0.0
@@ -155,7 +181,7 @@ def apply_step_rotations(
             ri = right[idle]
             na = alpha[idle]
             nb = beta[idle]
-            slack = 32.0 * np.finfo(np.float64).eps
+            slack = SORT_SLACK
             if sort == "desc":
                 swap = nb > na * (1.0 + slack)
             else:
@@ -170,4 +196,165 @@ def apply_step_rotations(
                     tmp = V[:, li].copy()
                     V[:, li] = V[:, ri]
                     V[:, ri] = tmp
+    return stats, max_rel
+
+
+#: division guard used instead of a masked divide: a zero cached norm
+#: implies an exactly-zero column, whose fresh ``gamma`` is exactly zero,
+#: so the guarded quotient is still exactly zero
+_TINY = float(np.finfo(np.float64).tiny)
+_SQRT_EPS = float(np.sqrt(np.finfo(np.float64).eps))
+
+
+def apply_step_rotations_batched(
+    WT: np.ndarray,
+    P: np.ndarray,
+    tol: float,
+    sort: str | None,
+    norms_sq: np.ndarray,
+    m: int,
+) -> tuple[RotationStats, float]:
+    """Fused batched form of :func:`apply_step_rotations`.
+
+    All k independent pair updates of one step — the plane rotations of
+    eq (1), the swap-free exchanged rotations of eq (3) *and* the
+    idle-pair sorting exchanges — are expressed as one batch of per-pair
+    2x2 transforms and applied with a single gather / fused update /
+    scatter, instead of separate masked passes per quantity.
+
+    ``WT`` is the working array in *column-as-row* layout: row ``j``
+    holds column ``j`` of the stacked factor ``[X; V]`` (data entries
+    first, ``m`` of them), so the gather/scatter of a step touches
+    contiguous memory.  ``P`` is the ``(k, 2)`` array of (left, right)
+    row indices, already oriented by the caller's label convention.
+
+    ``norms_sq`` is the cross-sweep cache of squared data-column norms:
+    ``alpha`` and ``beta`` are read from it instead of being recomputed
+    (only ``gamma`` needs a fresh dot product), and it is updated in
+    place through the exact rotation identities
+    ``alpha' = alpha - t gamma``, ``beta' = beta + t gamma`` (the chosen
+    tangent satisfies ``t^2 + 2 zeta t - 1 = 0``, which collapses the
+    ``c^2 a - 2csg + s^2 b`` form to these).  The caller must permute the
+    cache alongside any schedule column moves.
+
+    Minor deviation from the reference kernel: the norm-ordering swap
+    uses the same ``SORT_SLACK`` tie band for rotated pairs as for idle
+    pairs (the reference compares rotated pairs strictly); the two can
+    differ only when post-rotation norms agree to ~1e-14 relative, where
+    either order satisfies every sortedness tolerance in the package.
+
+    Returns the same ``(stats, max_rel)`` contract as the reference
+    kernel.
+    """
+    _validate_sort(sort)
+    stats = RotationStats()
+    k = P.shape[0]
+    if k == 0:
+        return stats, 0.0
+    Z = WT[P]  # (k, 2, M) gather of the paired columns
+    x = Z[:, 0]
+    y = Z[:, 1]
+    # batched (k,1,m)@(k,m,1) dot products; cheaper to dispatch than einsum
+    gamma = np.matmul(x[:, None, :m], y[:, :m, None]).reshape(k)
+    ab = norms_sq[P]  # (k, 2) cached alpha, beta
+    alpha = ab[:, 0]
+    beta = ab[:, 1]
+    denom = np.sqrt(alpha * beta)
+    rel = np.abs(gamma) / np.maximum(denom, _TINY)
+    max_rel = float(rel.max(initial=0.0))
+    rotate = rel > tol
+    applied = int(np.count_nonzero(rotate))
+    stats.applied = applied
+    stats.skipped = k - applied
+
+    if applied:
+        # tangent of the annihilating angle; written with copysign so the
+        # zeta == 0 tie (alpha == beta, 45 degrees, t = 1) needs no branch
+        # (a rotating pair always has gamma != 0, so masking with the
+        # rotate flags doubles as the division guard)
+        all_rot = applied == k
+        gsafe = gamma if all_rot else np.where(rotate, gamma, 1.0)
+        zeta = (beta - alpha) / (2.0 * gsafe)
+        t = 1.0 / (zeta + np.copysign(np.sqrt(1.0 + zeta * zeta), zeta))
+        if not all_rot:
+            t = np.where(rotate, t, 0.0)  # t = 0 is the identity (c=1, s=0)
+        c = 1.0 / np.sqrt(1.0 + t * t)
+        s = t * c
+        tg = t * gamma
+        na = alpha - tg  # idle pairs keep their cached norms exactly
+        nb = beta + tg
+        # cancellation guard: when a rotation (near-)annihilates a column
+        # the subtraction above loses relative accuracy (and can even
+        # round negative); entries within sqrt(eps) of full cancellation
+        # are recomputed freshly below, which caps the cache's relative
+        # error at ~sqrt(eps) — enough that rotations computed from it
+        # still annihilate their gamma to ~1e-8 relative, preserving the
+        # quadratic convergence tail (a bare eps floor keeps the cache
+        # finite but decays the tail to linear on ill-conditioned inputs)
+        floor = _SQRT_EPS * (alpha + beta)
+        stale = rotate & ((na < floor) | (nb < floor))
+        if np.any(stale):
+            np.maximum(na, 0.0, out=na)
+            np.maximum(nb, 0.0, out=nb)
+        else:
+            stale = None
+    else:
+        na = alpha
+        nb = beta
+        stale = None
+
+    # the identity-rotation path must honour the sorting convention too:
+    # below-threshold pairs in the wrong norm order are exchanged even
+    # when no rotation in the whole step fires
+    if sort == "desc":
+        swap = nb > na * (1.0 + SORT_SLACK)
+    elif sort == "asc":
+        swap = na > nb * (1.0 + SORT_SLACK)
+    else:
+        swap = None
+    nswap = int(np.count_nonzero(swap)) if swap is not None else 0
+    if swap is not None and nswap:
+        stats.swapped = int(np.count_nonzero(swap & rotate)) if applied else 0
+        stats.exchanged = nswap - stats.swapped
+    if not applied and not nswap:
+        return stats, max_rel  # fully idle step: nothing may move
+
+    # per-pair 2x2 transforms applied as ONE batched matmul (new_left is
+    # row 0 of R_k @ [x; y]); identity rows for idle pairs, the plain
+    # exchange permutation for idle pairs that only need re-sorting —
+    # writing strided slices of a (k, 2, M) buffer per coefficient would
+    # cost ~3x the matmul
+    R = np.empty((k, 2, 2))
+    if applied:
+        if nswap:
+            R[:, 0, 0] = np.where(swap, s, c)
+            R[:, 0, 1] = np.where(swap, c, -s)
+            R[:, 1, 0] = np.where(swap, c, s)
+            R[:, 1, 1] = np.where(swap, -s, c)
+        else:
+            R[:, 0, 0] = c
+            R[:, 0, 1] = -s
+            R[:, 1, 0] = s
+            R[:, 1, 1] = c
+    else:
+        diag = np.where(swap, 0.0, 1.0)
+        off = np.where(swap, 1.0, 0.0)
+        R[:, 0, 0] = diag
+        R[:, 1, 1] = diag
+        R[:, 0, 1] = off
+        R[:, 1, 0] = off
+
+    out = np.matmul(R, Z)
+    WT[P] = out  # pairs are disjoint within a step: scatter is race-free
+    if nswap:
+        norms_sq[P[:, 0]] = np.where(swap, nb, na)
+        norms_sq[P[:, 1]] = np.where(swap, na, nb)
+    else:
+        norms_sq[P[:, 0]] = na
+        norms_sq[P[:, 1]] = nb
+    if stale is not None:
+        # refresh cancelled entries from the just-written columns (the
+        # swap, if any, is already baked into the ``out`` slot order)
+        rows = out[stale]
+        norms_sq[P[stale]] = np.einsum("kim,kim->ki", rows[:, :, :m], rows[:, :, :m])
     return stats, max_rel

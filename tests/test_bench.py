@@ -1,0 +1,176 @@
+"""Unit tests for the repro.bench timing harness and report machinery."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    build_report,
+    compare_reports,
+    default_scenarios,
+    load_report,
+    median,
+    render_report,
+    run_scenario,
+    scenario_names,
+    time_callable,
+    validate_report,
+    write_report,
+)
+
+
+class TestTiming:
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+        assert median([7.0]) == 7.0
+
+    def test_median_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_time_callable_counts_runs(self):
+        calls = []
+        t = time_callable(lambda: calls.append(1), repeats=3, warmup=2)
+        assert len(calls) == 5
+        assert t.repeats == 3 and t.warmup == 2
+        assert len(t.times_s) == 3
+        assert all(x >= 0.0 for x in t.times_s)
+        assert t.best_s <= t.median_s <= max(t.times_s)
+        assert t.mean_s == pytest.approx(sum(t.times_s) / 3)
+
+    def test_time_callable_validates_args(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, warmup=-1)
+
+    def test_times_are_monotonic_clock_positive(self):
+        import time as _time
+
+        t = time_callable(lambda: _time.sleep(0.001), repeats=2, warmup=0)
+        assert all(x >= 0.001 for x in t.times_s)
+
+
+class TestScenarios:
+    def test_full_list_has_ten_quick_has_six(self):
+        assert len(default_scenarios(quick=False)) == 10
+        assert len(default_scenarios(quick=True)) == 6
+
+    def test_names_unique_and_stable(self):
+        full = scenario_names(quick=False)
+        assert len(set(full)) == len(full)
+        assert "svd/batched/fat_tree/n64" in full
+        assert "lint/registry" in full
+
+    def test_batched_scenarios_declare_their_baseline(self):
+        for s in default_scenarios():
+            if s.kind == "svd-kernel" and s.params["kernel"] == "batched":
+                assert s.reference == (
+                    f"svd/reference/{s.params['ordering']}/n{s.params['n']}"
+                )
+            else:
+                assert s.reference is None
+
+    @pytest.mark.parametrize(
+        "name", ["svd/batched/fat_tree/n16", "parallel/hybrid/cm5/n8",
+                 "lint/registry"]
+    )
+    def test_run_scenario_record_shape(self, name):
+        by_name = {s.name: s for s in default_scenarios(quick=True)}
+        rec = run_scenario(by_name[name], repeats=1, warmup=0)
+        assert rec["name"] == name
+        assert rec["wall_time_s"] > 0
+        assert rec["times_s"] and len(rec["times_s"]) == 1
+        if rec["kind"] != "lint":
+            assert rec["meta"]["converged"] is True
+            assert rec["meta"]["sweeps"] >= 1
+        else:
+            assert rec["meta"]["clean"] is True
+
+
+def _record(name, wall, reference=None):
+    return {
+        "name": name,
+        "kind": "svd-kernel",
+        "params": {},
+        "reference": reference,
+        "wall_time_s": wall,
+        "times_s": [wall],
+        "meta": {"sweeps": 5},
+    }
+
+
+def _report(**walls):
+    records = [_record(name, wall) for name, wall in walls.items()]
+    return build_report("t", records, repeats=1, warmup=0)
+
+
+class TestReport:
+    def test_build_stamps_schema_and_environment(self):
+        doc = _report(a=1.0)
+        assert doc["schema"] == SCHEMA
+        assert doc["python"] and doc["numpy"] and doc["platform"]
+        assert doc["created_unix"] > 0
+
+    def test_build_derives_speedup(self):
+        records = [
+            _record("ref", 2.0),
+            _record("fast", 0.5, reference="ref"),
+        ]
+        doc = build_report("t", records, repeats=1, warmup=0)
+        by = {r["name"]: r for r in doc["scenarios"]}
+        assert by["fast"]["speedup_vs_reference"] == pytest.approx(4.0)
+        assert "speedup_vs_reference" not in by["ref"]
+
+    def test_validate_accepts_built_reports(self):
+        assert validate_report(_report(a=1.0, b=2.0)) == []
+
+    @pytest.mark.parametrize(
+        "mutate, fragment",
+        [
+            (lambda d: d.update(schema="other/9"), "schema"),
+            (lambda d: d.update(tag=""), "tag"),
+            (lambda d: d.update(scenarios=[]), "non-empty"),
+            (lambda d: d["scenarios"][0].update(wall_time_s=0.0), "positive"),
+            (lambda d: d["scenarios"][0].update(times_s=[]), "times_s"),
+            (lambda d: d["scenarios"][0].update(name=""), "name"),
+        ],
+    )
+    def test_validate_rejects_corruption(self, mutate, fragment):
+        doc = _report(a=1.0)
+        mutate(doc)
+        problems = validate_report(doc)
+        assert problems and any(fragment in p for p in problems)
+
+    def test_validate_rejects_duplicate_names(self):
+        doc = _report(a=1.0)
+        doc["scenarios"].append(_record("a", 2.0))
+        assert any("duplicated" in p for p in validate_report(doc))
+
+    def test_validate_rejects_non_object(self):
+        assert validate_report([1, 2]) == ["report is not a JSON object"]
+
+    def test_compare_flags_only_true_regressions(self):
+        old = _report(a=1.0, b=1.0, gone=1.0)
+        new = _report(a=1.5, b=1.05)
+        regressions, compared = compare_reports(old, new, max_slowdown=0.20)
+        assert sorted(compared) == ["a", "b"]
+        assert [r["name"] for r in regressions] == ["a"]
+        assert regressions[0]["ratio"] == pytest.approx(1.5)
+
+    def test_compare_within_tolerance_is_clean(self):
+        old = _report(a=1.0)
+        new = _report(a=1.19)
+        regressions, _ = compare_reports(old, new, max_slowdown=0.20)
+        assert regressions == []
+
+    def test_roundtrip_and_render(self, tmp_path):
+        doc = _report(a=0.25)
+        path = tmp_path / "BENCH_x.json"
+        write_report(doc, str(path))
+        loaded = load_report(str(path))
+        assert loaded == json.loads(json.dumps(doc))  # JSON-stable
+        text = render_report(loaded)
+        assert "a" in text and "250.000 ms" in text

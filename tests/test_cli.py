@@ -1,8 +1,13 @@
 """Tests of the command-line interface."""
 
+import json
+import pathlib
+
 import pytest
 
 from repro.cli import build_parser, main
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
 
 
 class TestParser:
@@ -52,3 +57,96 @@ class TestCommands:
         assert main(["tables", "TAB-SWEEP"]) == 0
         out = capsys.readouterr().out
         assert "rotation-gap" in out
+
+    def test_svd_serial_batched_kernel(self, capsys):
+        rc = main(["svd", "--m", "24", "--n", "16", "--serial",
+                   "--ordering", "fat_tree", "--kernel", "batched"])
+        assert rc == 0
+        assert "converged=True" in capsys.readouterr().out
+
+
+def _bench(tmp_path, *extra):
+    """Run the cheapest scenario subset into tmp_path; returns exit code."""
+    return main(["bench", "--quick", "--repeats", "1", "--warmup", "0",
+                 "--out", str(tmp_path), "--scenario", "lint/registry",
+                 *extra])
+
+
+class TestBenchCommand:
+    def test_writes_schema_valid_report(self, tmp_path, capsys):
+        from repro.bench import validate_report
+
+        assert _bench(tmp_path, "--tag", "t1") == 0
+        out = capsys.readouterr().out
+        path = tmp_path / "BENCH_t1.json"
+        assert path.exists()
+        assert "BENCH_t1.json" in out
+        doc = json.loads(path.read_text())
+        assert validate_report(doc) == []
+        assert doc["tag"] == "t1"
+        assert [s["name"] for s in doc["scenarios"]] == ["lint/registry"]
+
+    def test_json_flag_prints_valid_report(self, tmp_path, capsys):
+        from repro.bench import validate_report
+
+        assert _bench(tmp_path, "--json") == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert validate_report(doc) == []
+        assert doc["scenarios"][0]["wall_time_s"] > 0
+
+    def test_speedup_derived_for_kernel_pairs(self, tmp_path, capsys):
+        rc = main(["bench", "--quick", "--repeats", "1", "--warmup", "0",
+                   "--out", str(tmp_path), "--json",
+                   "--scenario", "svd/reference/fat_tree/n16",
+                   "--scenario", "svd/batched/fat_tree/n16"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        batched = {s["name"]: s for s in doc["scenarios"]}[
+            "svd/batched/fat_tree/n16"]
+        assert batched["speedup_vs_reference"] > 0
+
+    def test_compare_clean_exits_zero(self, tmp_path, capsys):
+        rc = _bench(tmp_path, "--compare",
+                    str(FIXTURES / "bench_baseline_slow.json"))
+        assert rc == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_compare_regression_exits_one(self, tmp_path, capsys):
+        rc = _bench(tmp_path, "--compare",
+                    str(FIXTURES / "bench_baseline_fast.json"))
+        assert rc == 1
+        assert "PERF REGRESSION" in capsys.readouterr().out
+
+    def test_unknown_scenario_is_usage_error(self, tmp_path, capsys):
+        rc = main(["bench", "--out", str(tmp_path),
+                   "--scenario", "svd/warp/n4096"])
+        assert rc == 2
+        assert "unknown scenario" in capsys.readouterr().out
+
+    def test_bad_tag_is_usage_error(self, tmp_path, capsys):
+        assert _bench(tmp_path, "--tag", "../evil") == 2
+        assert "invalid tag" in capsys.readouterr().out
+
+    def test_bad_repeats_is_usage_error(self, tmp_path, capsys):
+        rc = main(["bench", "--out", str(tmp_path), "--repeats", "0"])
+        assert rc == 2
+
+    def test_missing_compare_file_is_usage_error(self, tmp_path, capsys):
+        rc = _bench(tmp_path, "--compare", str(tmp_path / "nope.json"))
+        assert rc == 2
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_invalid_compare_schema_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "repro.bench/999",
+                                   "scenarios": []}))
+        rc = _bench(tmp_path, "--compare", str(bad))
+        assert rc == 2
+        assert "invalid report" in capsys.readouterr().out
+
+    def test_fixture_baselines_are_schema_valid(self):
+        from repro.bench import validate_report
+
+        for name in ("bench_baseline_slow.json", "bench_baseline_fast.json"):
+            doc = json.loads((FIXTURES / name).read_text())
+            assert validate_report(doc) == [], name

@@ -18,7 +18,12 @@ from repro.orderings import (
 )
 from repro.orderings.schedule import Move, apply_moves, compose_moves
 from repro.svd import jacobi_svd
-from repro.svd.rotations import apply_step_rotations, rotation_params
+from repro.svd.rotations import (
+    apply_step_rotations,
+    apply_step_rotations_batched,
+    column_norms_sq,
+    rotation_params,
+)
 
 # sizes are powers of two within the figure range; ring orderings accept
 # any even size
@@ -157,6 +162,72 @@ class TestRotationInvariants:
         )
         assert np.linalg.norm(X) == pytest.approx(f, rel=1e-12)
         assert off_norm(X) <= before + 1e-9
+
+
+class TestNormCacheInvariants:
+    """The batched kernel's cross-sweep squared-norm cache must track
+    freshly computed column norms: within rtol after every kernel call
+    and after every full machine sweep, for random orderings, sizes and
+    sort modes.  The cancellation guard recomputes entries within
+    ``sqrt(eps)`` of full cancellation, so ``1e-8`` relative is the
+    contract."""
+
+    CACHE_RTOL = 1e-8
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        seed=st.integers(0, 10_000),
+        k=st.integers(1, 8),
+        m=st.integers(2, 12),
+        sort=st.sampled_from(["desc", "asc", None]),
+    )
+    def test_kernel_call_updates_cache_to_fresh_norms(self, seed, k, m, sort):
+        rng = np.random.default_rng(seed)
+        n = 2 * k
+        WT = rng.standard_normal((n, m))
+        norms = column_norms_sq(WT.T).copy()
+        P = rng.permutation(n).reshape(k, 2).astype(np.intp)
+        apply_step_rotations_batched(WT, P, 0.0, sort, norms, m)
+        fresh = np.einsum("nm,nm->n", WT, WT)
+        assert np.allclose(norms, fresh, rtol=self.CACHE_RTOL)
+
+    @settings(deadline=None, max_examples=25)
+    @given(seed=st.integers(0, 10_000), span=st.integers(0, 12))
+    def test_kernel_cache_survives_wide_dynamic_range(self, seed, span):
+        # columns spanning up to 10**span in norm exercise the
+        # cancellation guard's fresh-recompute path
+        rng = np.random.default_rng(seed)
+        n, m = 8, 10
+        WT = rng.standard_normal((n, m)) * np.logspace(0, -span, n)[:, None]
+        norms = column_norms_sq(WT.T).copy()
+        P = np.arange(n, dtype=np.intp).reshape(n // 2, 2)
+        apply_step_rotations_batched(WT, P, 0.0, "desc", norms, m)
+        fresh = np.einsum("nm,nm->n", WT, WT)
+        assert np.allclose(norms, fresh, rtol=self.CACHE_RTOL)
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        seed=st.integers(0, 1_000),
+        n=st.sampled_from([4, 8, 16]),
+        name=st.sampled_from(["fat_tree", "ring_new", "round_robin"]),
+        sort=st.sampled_from(["desc", "asc", None]),
+    )
+    def test_machine_cache_tracks_norms_after_every_sweep(
+        self, seed, n, name, sort
+    ):
+        # the simulated machine keeps the cache alive across sweeps —
+        # exactly the cross-sweep reuse the serial driver performs
+        from repro.machine import TreeMachine, make_topology
+
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n + 4, n))
+        machine = TreeMachine(make_topology("perfect", n // 2))
+        machine.load(a, kernel="batched")
+        ordering = make_ordering(name, n)
+        for sweep in range(5):
+            machine.run_sweep(ordering.sweep(sweep), tol=1e-12, sort=sort)
+            fresh = column_norms_sq(machine.X)
+            assert np.allclose(machine._norms_sq, fresh, rtol=self.CACHE_RTOL)
 
 
 class TestSVDBackwardStability:

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.svd.rotations import apply_step_rotations, rotation_params
+from repro.svd.rotations import (
+    apply_step_rotations,
+    apply_step_rotations_batched,
+    column_norms_sq,
+    rotation_params,
+)
 
 
 class TestRotationParams:
@@ -131,3 +136,120 @@ class TestApplyStepRotations:
         f = np.linalg.norm(X)
         apply_step_rotations(X, None, np.arange(0, 8, 2), np.arange(1, 8, 2), 0.0, "desc")
         assert np.linalg.norm(X) == pytest.approx(f)
+
+    @pytest.mark.parametrize("sort", ["descending", "", "DESC"])
+    def test_unrecognised_sort_rejected(self, sort):
+        # regression: an unknown sort string used to silently disable
+        # the sorting convention instead of failing
+        X = np.eye(4)
+        with pytest.raises(ValueError, match="sort"):
+            apply_step_rotations(X, None, np.array([0]), np.array([1]), 0.0, sort)
+
+
+def _as_rows(X):
+    """Column-as-row working buffer + its squared-norm cache."""
+    WT = np.ascontiguousarray(X.T)
+    return WT, column_norms_sq(X).copy()
+
+
+class TestConvergedButUnsortedStep:
+    """Regression for the identity-rotation path: when *every* pair of a
+    step is below threshold, the sorting convention must still be
+    honoured — a fast path that returns early on 'no rotations' would
+    silently skip the idle exchanges and break the sorted emergence of
+    the singular values."""
+
+    def _unsorted_orthogonal(self):
+        # orthogonal columns with strictly ascending norms: under
+        # sort="desc" every pair is converged yet needs an exchange
+        X = np.diag([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        return X
+
+    def test_reference_kernel_exchanges_all_idle_pairs(self):
+        X = self._unsorted_orthogonal()
+        st, mx = apply_step_rotations(
+            X, None, np.array([0, 2, 4]), np.array([1, 3, 5]), 1e-12, "desc"
+        )
+        assert st.applied == 0 and st.exchanged == 3
+        assert mx <= 1e-12
+        norms = np.linalg.norm(X, axis=0)
+        assert np.all(norms[[0, 2, 4]] > norms[[1, 3, 5]])
+
+    def test_batched_kernel_exchanges_all_idle_pairs(self):
+        X = self._unsorted_orthogonal()
+        WT, norms_sq = _as_rows(X)
+        P = np.array([[0, 1], [2, 3], [4, 5]], dtype=np.intp)
+        st, mx = apply_step_rotations_batched(WT, P, 1e-12, "desc", norms_sq, 6)
+        assert st.applied == 0 and st.exchanged == 3
+        assert mx <= 1e-12
+        norms = np.linalg.norm(WT, axis=1)
+        assert np.all(norms[P[:, 0]] > norms[P[:, 1]])
+        # the cache must have been exchanged alongside the columns
+        assert np.allclose(norms_sq, norms**2)
+
+    def test_batched_kernel_asc_mirror(self):
+        X = self._unsorted_orthogonal()[:, ::-1].copy()
+        WT, norms_sq = _as_rows(X)
+        P = np.array([[0, 1], [2, 3], [4, 5]], dtype=np.intp)
+        st, _ = apply_step_rotations_batched(WT, P, 1e-12, "asc", norms_sq, 6)
+        assert st.applied == 0 and st.exchanged == 3
+        norms = np.linalg.norm(WT, axis=1)
+        assert np.all(norms[P[:, 0]] < norms[P[:, 1]])
+
+    def test_batched_kernel_fully_idle_step_is_noop(self):
+        # sorted AND converged: the early-exit path must not move data
+        X = np.diag([6.0, 5.0, 4.0, 3.0, 2.0, 1.0])
+        WT, norms_sq = _as_rows(X)
+        before = WT.copy()
+        P = np.array([[0, 1], [2, 3], [4, 5]], dtype=np.intp)
+        st, _ = apply_step_rotations_batched(WT, P, 1e-12, "desc", norms_sq, 6)
+        assert st.applied == 0 and st.exchanged == 0 and st.swapped == 0
+        assert np.array_equal(WT, before)
+
+    @pytest.mark.parametrize("kernel", ["reference", "batched"])
+    def test_driver_sorts_converged_unsorted_input(self, kernel):
+        # end-to-end: an already-diagonal matrix in ascending order must
+        # come out sorted descending purely through idle exchanges
+        from repro.svd import JacobiOptions, jacobi_svd
+
+        a = np.zeros((10, 8))
+        np.fill_diagonal(a, np.arange(1.0, 9.0))
+        r = jacobi_svd(a, ordering="fat_tree",
+                       options=JacobiOptions(kernel=kernel))
+        assert r.converged
+        assert r.emerged_sorted == "desc"
+        assert np.allclose(r.sigma, np.arange(8.0, 0.0, -1.0))
+        assert r.rotations == 0
+
+    def test_batched_unrecognised_sort_rejected(self):
+        X = np.eye(4)
+        WT, norms_sq = _as_rows(X)
+        P = np.array([[0, 1]], dtype=np.intp)
+        with pytest.raises(ValueError, match="sort"):
+            apply_step_rotations_batched(WT, P, 0.0, "descending", norms_sq, 4)
+
+
+class TestBatchedKernelEquivalence:
+    def test_single_step_matches_reference(self, rng):
+        X = rng.standard_normal((12, 8))
+        Xr = X.copy()
+        WT, norms_sq = _as_rows(X)
+        left = np.arange(0, 8, 2)
+        right = np.arange(1, 8, 2)
+        st_ref, mx_ref = apply_step_rotations(Xr, None, left, right, 0.0, "desc")
+        P = np.column_stack((left, right)).astype(np.intp)
+        st_bat, mx_bat = apply_step_rotations_batched(
+            WT, P, 0.0, "desc", norms_sq, 12
+        )
+        assert st_ref.applied == st_bat.applied
+        assert st_ref.swapped == st_bat.swapped
+        assert mx_ref == pytest.approx(mx_bat, rel=1e-12)
+        assert np.allclose(WT.T, Xr, atol=1e-13)
+
+    def test_empty_step_noop(self):
+        WT = np.eye(4)
+        norms_sq = np.ones(4)
+        st, mx = apply_step_rotations_batched(
+            WT, np.empty((0, 2), dtype=np.intp), 0.0, "desc", norms_sq, 4
+        )
+        assert st.applied == 0 and mx == 0.0
