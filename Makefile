@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-tools lint-schedules bench bench-figures
+.PHONY: test lint lint-tools lint-schedules bench bench-check bench-figures
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -35,10 +35,19 @@ lint-schedules:
 	$(PYTHON) -m repro.cli lint --ordering ring_new --ordering ring_modified --topology binary
 
 # the perf-regression harness: timed scenarios (reference vs batched
-# kernels, parallel simulator, lint latency) -> BENCH_local.json;
+# scalar kernels, gram vs reference block kernels, parallel simulator at
+# scalar and block granularity, lint latency) -> BENCH_local.json;
 # compare a later run with `repro-harness bench --compare BENCH_local.json`
 bench:
 	$(PYTHON) -m repro.cli bench --tag local
+
+# the regression gate over the checked-in report: re-times every scenario
+# (including the block-gram-vs-reference pair) and fails on any shared
+# scenario slowing down beyond the tolerance (generous, because the
+# committed report may come from different hardware)
+bench-check:
+	$(PYTHON) -m repro.cli bench --tag check --repeats 3 \
+		--compare BENCH_local.json --max-slowdown 400
 
 # timed replays of the paper's figures/tables via pytest-benchmark
 bench-figures:

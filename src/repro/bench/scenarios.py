@@ -1,16 +1,20 @@
 """Named benchmark scenarios.
 
-Three kinds of workload, matching the trajectories the ROADMAP wants
+Four kinds of workload, matching the trajectories the ROADMAP wants
 protected:
 
 ``svd-kernel``       one full serial :func:`~repro.svd.jacobi_svd` run
                      with a chosen rotation kernel, ordering and size —
                      the batched-vs-reference pairs yield the headline
                      speedups;
+``block-kernel``     one full serial
+                     :func:`~repro.blockjacobi.block_jacobi_svd` run
+                     with a chosen block-pair kernel and block size —
+                     the gram-vs-reference pair is the BLAS-3 headline;
 ``parallel-sweeps``  sweep throughput of the simulated tree machine
                      (:class:`~repro.parallel.ParallelJacobiSVD`),
                      i.e. real wall time of the simulator, not modelled
-                     machine time;
+                     machine time (scalar and block granularity);
 ``lint``             latency of the static schedule verifier over the
                      ordering registry.
 
@@ -42,7 +46,7 @@ class Scenario:
     """One named, self-contained timing target."""
 
     name: str
-    kind: str  # "svd-kernel" | "parallel-sweeps" | "lint"
+    kind: str  # "svd-kernel" | "block-kernel" | "parallel-sweeps" | "lint"
     params: dict[str, Any] = field(default_factory=dict)
     #: name of the baseline scenario this one is reported as a speedup
     #: against (the batched kernel points at its reference twin)
@@ -59,13 +63,25 @@ def _svd_scenario(kernel: str, ordering: str, n: int) -> Scenario:
     )
 
 
+def _block_scenario(kernel: str, ordering: str, n: int, b: int) -> Scenario:
+    ref = None if kernel == "reference" else f"block/reference/{ordering}/n{n}b{b}"
+    return Scenario(
+        name=f"block/{kernel}/{ordering}/n{n}b{b}",
+        kind="block-kernel",
+        params={"kernel": kernel, "ordering": ordering, "n": n,
+                "m": n + 16, "block_size": b},
+        reference=ref,
+    )
+
+
 def default_scenarios(quick: bool = False) -> list[Scenario]:
     """The shipped scenario list.
 
-    Full mode: kernels x {fat_tree, ring_new} x n in {32, 64}, plus the
-    parallel simulator and the lint gate (10 scenarios).  ``quick`` mode
-    shrinks every size for CI smoke runs (6 scenarios) while keeping the
-    same name structure.
+    Full mode: scalar kernels x {fat_tree, ring_new} x n in {32, 64},
+    the block kernels (gram vs reference vs batched at n=128, b=8), the
+    parallel simulator at scalar and block granularity, and the lint
+    gate (14 scenarios).  ``quick`` mode shrinks every size for CI smoke
+    runs (8 scenarios) while keeping the same name structure.
     """
     sizes = (16,) if quick else (32, 64)
     out = []
@@ -73,6 +89,13 @@ def default_scenarios(quick: bool = False) -> list[Scenario]:
         for ordering in ("fat_tree", "ring_new"):
             for kernel in ("reference", "batched"):
                 out.append(_svd_scenario(kernel, ordering, n))
+    # the block-gram-vs-reference pair: the BLAS-3 fast path against the
+    # per-pair reference numerics on the same block schedule
+    bn, bb = (32, 4) if quick else (128, 8)
+    block_kernels = ("reference", "gram") if quick \
+        else ("reference", "batched", "gram")
+    for kernel in block_kernels:
+        out.append(_block_scenario(kernel, "ring_new", bn, bb))
     pn = 8 if quick else 32
     out.append(
         Scenario(
@@ -81,6 +104,15 @@ def default_scenarios(quick: bool = False) -> list[Scenario]:
             params={"topology": "cm5", "ordering": "hybrid", "n": pn, "m": pn + 8},
         )
     )
+    if not quick:
+        out.append(
+            Scenario(
+                name="parallel/hybrid/cm5/n64b4",
+                kind="parallel-sweeps",
+                params={"topology": "cm5", "ordering": "hybrid", "n": 64,
+                        "m": 72, "block_size": 4},
+            )
+        )
     out.append(
         Scenario(
             name="lint/registry",
@@ -118,12 +150,36 @@ def run_scenario(
                 converged=bool(r.converged),
             )
 
+    elif scenario.kind == "block-kernel":
+        from ..blockjacobi import BlockJacobiOptions, block_jacobi_svd
+        from ..orderings import make_ordering
+
+        rng = np.random.default_rng(_SEED)
+        a = rng.standard_normal((p["m"], p["n"]))
+        ordering = make_ordering(p["ordering"], p["n"] // p["block_size"])
+        options = BlockJacobiOptions(block_size=p["block_size"],
+                                     kernel=p["kernel"])
+
+        def work() -> None:
+            r = block_jacobi_svd(a, ordering=ordering, options=options)
+            meta.update(
+                sweeps=r.sweeps,
+                rotations=r.rotations,
+                converged=bool(r.converged),
+            )
+
     elif scenario.kind == "parallel-sweeps":
         from ..parallel.driver import ParallelJacobiSVD
 
         rng = np.random.default_rng(_SEED)
         a = rng.standard_normal((p["m"], p["n"]))
-        driver = ParallelJacobiSVD(topology=p["topology"], ordering=p["ordering"])
+        options = None
+        if p.get("block_size"):
+            from ..blockjacobi import BlockJacobiOptions
+
+            options = BlockJacobiOptions(block_size=p["block_size"])
+        driver = ParallelJacobiSVD(topology=p["topology"],
+                                   ordering=p["ordering"], options=options)
 
         def work() -> None:
             r, rep = driver.compute(a)

@@ -1,5 +1,7 @@
 """Block Jacobi SVD: blocks of columns per leaf (Bischof [1], Schreiber [14])."""
 
 from .driver import BlockJacobiOptions, block_jacobi_svd
+from .kernel import BLOCK_KERNELS, solve_block_pair, solve_block_step
 
-__all__ = ["BlockJacobiOptions", "block_jacobi_svd"]
+__all__ = ["BLOCK_KERNELS", "BlockJacobiOptions", "block_jacobi_svd",
+           "solve_block_pair", "solve_block_step"]

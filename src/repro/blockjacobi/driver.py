@@ -29,8 +29,8 @@ from ..core.result import SVDResult, SweepRecord
 from ..orderings.base import Ordering
 from ..orderings.registry import make_ordering
 from ..svd.convergence import off_norm
-from ..svd.rotations import apply_step_rotations
 from ..util.validation import require
+from .kernel import BLOCK_KERNELS, solve_block_step
 
 __all__ = ["BlockJacobiOptions", "block_jacobi_svd"]
 
@@ -52,6 +52,12 @@ class BlockJacobiOptions:
     ``sort``
         Norm ordering inside the local solver (sorted output emerges at
         block granularity).
+    ``kernel``
+        Local block-pair solver: ``"gram"`` (BLAS-3 Gram-space fast
+        path, the default), ``"batched"`` (fused gathered 2x2
+        transforms) or ``"reference"`` (per-step masked rotations, the
+        numerics the others are tested against) — see
+        :mod:`repro.blockjacobi.kernel`.
     """
 
     block_size: int = 4
@@ -59,48 +65,20 @@ class BlockJacobiOptions:
     inner_sweeps: int = 2
     max_sweeps: int = 60
     sort: str | None = "desc"
+    kernel: str = "gram"
 
-
-def _local_pair_sweep(
-    X: np.ndarray,
-    V: np.ndarray | None,
-    cols: np.ndarray,
-    tol: float,
-    sort: str | None,
-    inner_sweeps: int,
-) -> float:
-    """Orthogonalise the columns in ``cols`` against each other.
-
-    Runs ``inner_sweeps`` cyclic odd-even sweeps of disjoint rotations
-    over the 2b local columns (all arithmetic is leaf-local on the
-    machine, so the simulator charges it as compute).  Returns the worst
-    relative off-diagonal seen at first touch (the convergence signal).
-    """
-    k = len(cols)
-    worst = 0.0
-    first = True
-    for _ in range(inner_sweeps):
-        # odd-even over positions: covers all pairs of the 2b columns in
-        # k steps of disjoint rotations
-        order = list(cols)
-        for parity in range(k):
-            starts = range(0 if parity % 2 == 0 else 1, k - 1, 2)
-            pa = np.array([order[i] for i in starts], dtype=np.intp)
-            pb = np.array([order[i + 1] for i in starts], dtype=np.intp)
-            # orient by column id so the norm-ordering exchanges stay
-            # consistent across sweeps (same fix as the scalar driver)
-            left = np.minimum(pa, pb)
-            right = np.maximum(pa, pb)
-            if left.size:
-                _, mx = apply_step_rotations(X, V, left, right, tol, sort)
-                if first:
-                    worst = max(worst, mx)
-            # unconditional neighbour exchange walks every pair past
-            # every other (odd-even transposition at position level)
-            for i in starts:
-                order[i], order[i + 1] = order[i + 1], order[i]
-        first = False
-    return worst
+    def __post_init__(self) -> None:
+        # inner_sweeps = 0 would make every local solve a no-op that
+        # reports worst = 0.0, so the driver would declare convergence
+        # after one sweep with a wrong result; fail loudly instead
+        require(self.block_size >= 1, "block_size must be positive")
+        require(self.inner_sweeps >= 1,
+                f"inner_sweeps must be >= 1, got {self.inner_sweeps!r}")
+        require(self.max_sweeps >= 1,
+                f"max_sweeps must be >= 1, got {self.max_sweeps!r}")
+        require(self.kernel in BLOCK_KERNELS,
+                f"unknown block kernel {self.kernel!r}; "
+                f"available: {', '.join(BLOCK_KERNELS)}")
 
 
 def block_jacobi_svd(
@@ -143,12 +121,16 @@ def block_jacobi_svd(
         worst = 0.0
         rotations = 0
         for step in sched.steps:
-            for sa, sb in step.pairs:
-                cols = np.concatenate([block_cols[sa], block_cols[sb]])
-                mx = _local_pair_sweep(X, V, cols, opts.tol, opts.sort,
-                                       opts.inner_sweeps)
+            if step.pairs:
+                pair_cols = [
+                    np.concatenate([block_cols[sa], block_cols[sb]])
+                    for sa, sb in step.pairs
+                ]
+                st, mx = solve_block_step(X, V, pair_cols, opts.tol,
+                                          opts.sort, opts.inner_sweeps,
+                                          opts.kernel)
                 worst = max(worst, mx)
-                rotations += len(cols) * (len(cols) - 1) // 2
+                rotations += st.applied
             if step.moves:
                 snapshot = {mv.src: block_cols[mv.src] for mv in step.moves}
                 for mv in step.moves:

@@ -54,9 +54,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--serial", action="store_true",
                      help="use the serial driver (no machine simulation)")
-    run.add_argument("--kernel", default="reference",
-                     choices=["reference", "batched"],
-                     help="rotation kernel (batched = fused fast path)")
+    run.add_argument("--kernel", default=None,
+                     choices=["reference", "batched", "gram"],
+                     help="rotation kernel (batched = fused fast path; "
+                          "gram = BLAS-3 block kernel, needs --block-size)")
+    run.add_argument("--block-size", type=int, default=None, metavar="B",
+                     help="run at block granularity with B columns per "
+                          "schedule unit (default: scalar, 1 column)")
 
     lint = sub.add_parser(
         "lint",
@@ -280,19 +284,27 @@ def main(argv: list[str] | None = None) -> int:
         return _bench(args)
 
     if args.command == "svd":
+        if args.kernel == "gram" and args.block_size is None:
+            print("--kernel gram is a block kernel; pass --block-size B")
+            return 2
+        if args.block_size is not None and args.block_size < 1:
+            print("--block-size must be a positive column count")
+            return 2
         rng = np.random.default_rng(args.seed)
         a = rng.standard_normal((args.m, args.n))
         if args.serial:
             from repro import svd
 
-            r = svd(a, ordering=args.ordering, kernel=args.kernel)
+            r = svd(a, ordering=args.ordering, kernel=args.kernel,
+                    block_size=args.block_size)
             print(f"converged={r.converged} sweeps={r.sweeps} "
                   f"rotations={r.rotations} sorted={r.emerged_sorted}")
         else:
             from repro import parallel_svd
 
             r, rep = parallel_svd(a, topology=args.topology,
-                                  ordering=args.ordering, kernel=args.kernel)
+                                  ordering=args.ordering, kernel=args.kernel,
+                                  block_size=args.block_size)
             print(f"converged={r.converged} sweeps={r.sweeps}")
             print(f"total={rep.total_time:.0f} compute={rep.compute_time:.0f} "
                   f"comm={rep.comm_time:.0f}")

@@ -4,7 +4,9 @@
 ordering (default: the paper's fat-tree ordering), pad to an admissible
 width if needed, run the one-sided Jacobi iteration, strip the padding.
 ``parallel_svd`` does the same on a simulated tree machine and returns
-the execution telemetry alongside the decomposition.
+the execution telemetry alongside the decomposition.  Both accept
+``block_size=b`` to run at block granularity (``b`` columns per
+schedule unit, BLAS-3 gram kernel by default).
 """
 
 from __future__ import annotations
@@ -13,12 +15,15 @@ import dataclasses
 
 import numpy as np
 
+from ..blockjacobi.driver import BlockJacobiOptions, block_jacobi_svd
+from ..blockjacobi.kernel import BLOCK_KERNELS
 from ..machine.costmodel import CostModel
 from ..orderings.base import Ordering
 from ..parallel.distribution import pad_columns, strip_padding
 from ..parallel.driver import ParallelJacobiSVD, ParallelRunReport
 from ..svd.hestenes import JacobiOptions, jacobi_svd
 from ..util.bits import is_power_of_two
+from ..util.validation import require
 from .result import SVDResult
 
 __all__ = ["svd", "parallel_svd"]
@@ -37,11 +42,46 @@ def _with_kernel(
     return dataclasses.replace(options or JacobiOptions(), kernel=kernel)
 
 
+def _block_options(
+    options: JacobiOptions | BlockJacobiOptions | None,
+    kernel: str | None,
+    block_size: int | None,
+) -> BlockJacobiOptions | None:
+    """Resolve the block-mode options, or ``None`` for scalar mode.
+
+    Block mode is requested by ``block_size`` or by passing a
+    :class:`BlockJacobiOptions` directly; scalar ``JacobiOptions`` carry
+    their shared knobs (tol, max_sweeps, sort) over.  A block-only
+    kernel (``"gram"``) without a block size is a usage error.
+    """
+    if block_size is None and not isinstance(options, BlockJacobiOptions):
+        require(kernel != "gram",
+                "kernel='gram' is a block kernel; pass block_size=...")
+        return None
+    if isinstance(options, BlockJacobiOptions):
+        base = options
+        if block_size is not None and block_size != base.block_size:
+            base = dataclasses.replace(base, block_size=block_size)
+    else:
+        shared = {}
+        if options is not None:
+            shared = {"tol": options.tol, "max_sweeps": options.max_sweeps,
+                      "sort": options.sort}
+        base = BlockJacobiOptions(block_size=block_size, **shared)
+    if kernel is not None:
+        require(kernel in BLOCK_KERNELS,
+                f"unknown block kernel {kernel!r}; "
+                f"available: {', '.join(BLOCK_KERNELS)}")
+        base = dataclasses.replace(base, kernel=kernel)
+    return base
+
+
 def svd(
     a: np.ndarray,
     ordering: str | Ordering = "fat_tree",
-    options: JacobiOptions | None = None,
+    options: JacobiOptions | BlockJacobiOptions | None = None,
     kernel: str | None = None,
+    block_size: int | None = None,
     **ordering_kwargs: object,
 ) -> SVDResult:
     """One-sided Jacobi SVD of ``a`` (m x n, m >= n) under a parallel ordering.
@@ -53,11 +93,32 @@ def svd(
     ``kernel`` (``"reference"`` or ``"batched"``) overrides the rotation
     kernel of ``options``; the batched kernel fuses each parallel step
     into a single gathered 2x2 block transform and is the fast path.
+
+    ``block_size=b`` switches to the block Jacobi driver: the ordering
+    runs on ``b``-column blocks and the local subproblems are solved by
+    a block kernel (``"gram"``, ``"batched"`` or ``"reference"``; the
+    BLAS-3 gram kernel by default).  Admissibility and padding are then
+    decided at block granularity.
     """
     a = np.asarray(a, dtype=np.float64)
-    options = _with_kernel(options, kernel)
+    bopts = _block_options(options, kernel, block_size)
     n = a.shape[1]
     pow2 = _needs_power_of_two(ordering)
+    if bopts is not None:
+        b = bopts.block_size
+        n_blocks, rem = divmod(n, b)
+        admissible = rem == 0 and (
+            (is_power_of_two(n_blocks) and n_blocks >= 4)
+            if pow2 else (n_blocks % 2 == 0 and n_blocks >= 2)
+        )
+        if admissible:
+            return block_jacobi_svd(a, ordering=ordering, options=bopts,
+                                    **ordering_kwargs)
+        padded, orig = pad_columns(a, power_of_two=pow2, block_size=b)
+        result = block_jacobi_svd(padded, ordering=ordering, options=bopts,
+                                  **ordering_kwargs)
+        return strip_padding(result, orig)
+    options = _with_kernel(options, kernel)
     admissible = (is_power_of_two(n) and n >= 4) if pow2 else (n % 2 == 0)
     if admissible:
         return jacobi_svd(a, ordering=ordering, options=options, **ordering_kwargs)
@@ -72,15 +133,27 @@ def parallel_svd(
     topology: str = "cm5",
     ordering: str | Ordering = "hybrid",
     cost_model: CostModel | None = None,
-    options: JacobiOptions | None = None,
+    options: JacobiOptions | BlockJacobiOptions | None = None,
     kernel: str | None = None,
+    block_size: int | None = None,
     **ordering_kwargs: object,
 ) -> tuple[SVDResult, ParallelRunReport]:
-    """Distributed SVD on a simulated tree machine; returns result + telemetry."""
+    """Distributed SVD on a simulated tree machine; returns result + telemetry.
+
+    ``block_size=b`` runs the machine at block granularity: ``n / b``
+    schedule units, ``b``-column messages, block kernels on the leaves
+    (the BLAS-3 gram kernel by default).
+    """
     a = np.asarray(a, dtype=np.float64)
-    options = _with_kernel(options, kernel)
+    bopts = _block_options(options, kernel, block_size)
     pow2 = _needs_power_of_two(ordering)
-    padded, orig = pad_columns(a, power_of_two=pow2)
+    if bopts is not None:
+        options = bopts
+        padded, orig = pad_columns(a, power_of_two=pow2,
+                                   block_size=bopts.block_size)
+    else:
+        options = _with_kernel(options, kernel)
+        padded, orig = pad_columns(a, power_of_two=pow2)
     driver = ParallelJacobiSVD(
         topology=topology,
         ordering=ordering,

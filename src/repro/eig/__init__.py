@@ -1,5 +1,13 @@
 """Symmetric eigenproblems under the same parallel orderings (Brent-Luk [2])."""
 
-from .jacobi import EigOptions, EigResult, jacobi_eigh, symmetric_off_norm
+from .jacobi import (
+    EigOptions,
+    EigResult,
+    gram_eigh,
+    gram_eigh_batched,
+    jacobi_eigh,
+    symmetric_off_norm,
+)
 
-__all__ = ["EigOptions", "EigResult", "jacobi_eigh", "symmetric_off_norm"]
+__all__ = ["EigOptions", "EigResult", "gram_eigh", "gram_eigh_batched",
+           "jacobi_eigh", "symmetric_off_norm"]

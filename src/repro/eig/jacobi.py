@@ -17,6 +17,7 @@ loop over pairs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -24,7 +25,10 @@ from ..orderings.base import Ordering
 from ..orderings.registry import make_ordering
 from ..util.validation import require
 
-__all__ = ["EigOptions", "EigResult", "jacobi_eigh", "symmetric_off_norm"]
+__all__ = ["EigOptions", "EigResult", "gram_eigh", "gram_eigh_batched",
+           "jacobi_eigh", "symmetric_off_norm"]
+
+_TINY = float(np.finfo(np.float64).tiny)
 
 
 @dataclass(frozen=True)
@@ -177,3 +181,133 @@ def jacobi_eigh(
         w=w, v=v, converged=converged, sweeps=sweeps,
         rotations=rotations, off_history=history,
     )
+
+
+@lru_cache(maxsize=None)
+def _round_robin_steps(k: int) -> tuple[tuple[np.ndarray, np.ndarray], ...]:
+    """``k - 1`` steps of ``k/2`` disjoint pairs covering all ``C(k, 2)``
+    index pairs once (the circle method; ``k`` must be even)."""
+    arr = list(range(k))
+    steps = []
+    for _ in range(k - 1):
+        pa = []
+        qa = []
+        for i in range(k // 2):
+            a, b = arr[i], arr[k - 1 - i]
+            pa.append(min(a, b))
+            qa.append(max(a, b))
+        steps.append(
+            (np.array(pa, dtype=np.intp), np.array(qa, dtype=np.intp))
+        )
+        arr = [arr[0], arr[-1]] + arr[1:-1]
+    return tuple(steps)
+
+
+def gram_eigh_batched(
+    g: np.ndarray,
+    tol: float = 1e-12,
+    max_sweeps: int = 60,
+    floor: np.ndarray | float = 0.0,
+) -> tuple[np.ndarray, int, int, bool]:
+    """Cyclic two-sided Jacobi on a *stack* of small symmetric matrices.
+
+    The low-overhead core of the Gram-space block kernel
+    (:mod:`repro.blockjacobi.kernel`): ``g`` of shape ``(B, k, k)`` —
+    typically the ``2b x 2b`` Gram matrices of all block pairs met in one
+    schedule step — is overwritten **in place** with ``W^T g W`` while
+    the orthogonal factors ``W`` (one per matrix) are accumulated.  The
+    ``B`` sub-problems are independent (their column sets are disjoint),
+    so each round-robin step rotates all of them at once: the rotation
+    angles are computed on ``(B, k/2)`` arrays and applied as one batched
+    ``(B, k, k)`` GEMM per side, which is what makes the block kernel
+    BLAS-3 end to end.
+
+    A pair is rotated when it fails the *relative* threshold
+    ``|g_pq| > tol * sqrt(g_pp g_qq)``; pairs below it ride along with
+    exact identity rotations.  The sweep loop exits early once every
+    pair of every matrix satisfies
+    ``|g_pq| <= tol * sqrt(g_pp g_qq) + floor``.  ``floor`` (scalar or
+    per-matrix array) absorbs the Gram-formation noise a block kernel
+    cannot rotate below (``~ k * eps * max(g_ii)`` after each BLAS-3
+    application); ``floor = 0`` demands full relative orthogonality as
+    the one-sided reference kernel does.
+
+    Returns ``(W, rotations, sweeps, converged)`` with ``W`` of shape
+    ``(B, k, k)`` and ``rotations`` summed over the stack; the final
+    squared column norms are the diagonals of ``g`` after the call.
+    """
+    require(g.ndim == 3 and g.shape[1] == g.shape[2],
+            "stack of square matrices expected")
+    nb, k = g.shape[0], g.shape[1]
+    require(k % 2 == 0, "gram_eigh needs an even dimension (2b columns)")
+    fdiv = np.asarray(floor, dtype=np.float64).reshape(-1, 1) / tol \
+        if tol > 0.0 else np.zeros((1, 1))
+    steps = _round_robin_steps(k)
+    eye = np.eye(k)
+    # J is rebuilt per step: every step pairs all k indices, so the
+    # diagonal is fully overwritten; only the off-diagonal entries of
+    # the *previous* step need clearing (done after each use)
+    J = np.broadcast_to(eye, g.shape).copy()
+    W = np.broadcast_to(eye, g.shape).copy()
+    Wbuf = np.empty_like(W)
+    tmp = np.empty_like(g)
+    rotations = 0
+    sweeps = 0
+    converged = False
+    for sweep in range(max_sweeps):
+        worst = 0.0
+        for p, q in steps:
+            gpp = g[:, p, p]
+            gqq = g[:, q, q]
+            gpq = g[:, p, q]
+            denom = np.sqrt(np.abs(gpp * gqq))
+            rel = np.abs(gpq) / np.maximum(denom + fdiv, _TINY)
+            worst = max(worst, float(rel.max(initial=0.0)))
+            hits = (np.abs(gpq) > tol * denom) & (denom > 0.0)
+            nhits = int(np.count_nonzero(hits))
+            if nhits == 0:
+                continue
+            rotations += nhits
+            safe = np.where(gpq == 0.0, 1.0, gpq)
+            theta = (gqq - gpp) / (2.0 * safe)
+            t = np.sign(theta) / (np.abs(theta) + np.sqrt(1.0 + theta * theta))
+            t = np.where(theta == 0.0, 1.0, t)
+            t = np.where(hits, t, 0.0)  # identity for pairs below threshold
+            c = 1.0 / np.sqrt(1.0 + t * t)
+            s = t * c
+            J[:, p, p] = c
+            J[:, q, q] = c
+            J[:, p, q] = s
+            J[:, q, p] = -s
+            np.matmul(g, J, out=tmp)
+            np.matmul(J.transpose(0, 2, 1), tmp, out=g)
+            np.matmul(W, J, out=Wbuf)
+            W, Wbuf = Wbuf, W
+            J[:, p, q] = 0.0
+            J[:, q, p] = 0.0
+        sweeps = sweep + 1
+        if worst <= tol:
+            converged = True
+            break
+    return W, rotations, sweeps, converged
+
+
+def gram_eigh(
+    g: np.ndarray,
+    tol: float = 1e-12,
+    max_sweeps: int = 60,
+    floor: float = 0.0,
+) -> tuple[np.ndarray, int, int, bool]:
+    """Single-matrix view of :func:`gram_eigh_batched` (in place).
+
+    ``g`` of shape ``(k, k)`` is overwritten with ``W^T g W``; returns
+    ``(W, rotations, sweeps, converged)`` with ``W`` of shape
+    ``(k, k)``.  See :func:`gram_eigh_batched` for the semantics of
+    ``tol``, ``max_sweeps`` and ``floor``.
+    """
+    require(g.ndim == 2 and g.shape[0] == g.shape[1],
+            "square matrix expected")
+    W, rotations, sweeps, converged = gram_eigh_batched(
+        g[None, :, :], tol=tol, max_sweeps=max_sweeps, floor=floor
+    )
+    return W[0], rotations, sweeps, converged

@@ -52,6 +52,17 @@ class CostModel:
         """Compute phase: the busiest leaf's rotations, serialised."""
         return max_rotations_per_leaf * self.rotation_flops(m) * self.flop_time
 
+    def block_compute_time(
+        self, max_pairs_per_leaf: int, m: int, b: int, inner_sweeps: int
+    ) -> float:
+        """Compute phase of a *block* step: each met block pair solves a
+        ``2b``-column local subproblem — ``inner_sweeps`` cyclic sweeps
+        over its ``b (2b - 1)`` column pairs — so the busiest leaf is
+        charged that many plane rotations (``b = 1`` degenerates to
+        ``inner_sweeps`` scalar rotations per met pair)."""
+        rotations = inner_sweeps * b * (2 * b - 1)
+        return max_pairs_per_leaf * rotations * self.rotation_flops(m) * self.flop_time
+
     def comm_time(self, phase: MessagePhase, words_per_message: int) -> float:
         """Communication phase under channel serialisation."""
         if phase.n_messages == 0:

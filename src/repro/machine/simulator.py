@@ -10,6 +10,13 @@ label-oriented sorting — so the parallel path is bit-compatible with
 :func:`repro.svd.jacobi_svd` (asserted in the integration tests); what
 the machine adds is the *timeline*: per-step compute/communication
 times, message counts and contention factors.
+
+With ``block_size=b`` the machine runs at *block* granularity instead:
+each slot holds a ``b``-column block, a met pair solves a local
+``2b``-column subproblem through a :mod:`repro.blockjacobi.kernel`
+solver (bit-compatible with :func:`repro.blockjacobi.block_jacobi_svd`),
+every message carries ``b`` columns, and the step records charge the
+block work to the cost model.
 """
 
 from __future__ import annotations
@@ -43,30 +50,69 @@ class TreeMachine:
         self.V: np.ndarray | None = None
         self.labels: np.ndarray | None = None
         self.kernel: str = "reference"
+        self.block_size: int | None = None
+        self.inner_sweeps: int = 2
+        self.block_cols: list[np.ndarray] | None = None
         self._norms_sq: np.ndarray | None = None
 
     @property
     def n_slots(self) -> int:
+        """Schedule slots: columns in scalar mode, blocks in block mode."""
         return 2 * self.topology.n_leaves
 
-    def load(self, a: np.ndarray, compute_v: bool = True,
-             kernel: str = "reference") -> None:
-        """Distribute the columns of ``a`` over the leaves (slot i = col i)."""
-        from ..svd.hestenes import KERNELS
+    @property
+    def n_columns(self) -> int:
+        """Matrix columns the machine holds (``n_slots * block_size``)."""
+        return self.n_slots * (self.block_size or 1)
 
-        require(kernel in KERNELS,
-                f"unknown kernel {kernel!r}; available: {', '.join(KERNELS)}")
+    def load(self, a: np.ndarray, compute_v: bool = True,
+             kernel: str = "reference", block_size: int | None = None,
+             inner_sweeps: int = 2) -> None:
+        """Distribute the columns of ``a`` over the leaves.
+
+        Scalar mode (``block_size=None``): slot ``i`` holds column ``i``,
+        ``kernel`` names a scalar rotation kernel.  Block mode: slot
+        ``i`` holds the ``block_size`` columns ``i*b .. (i+1)*b - 1`` and
+        ``kernel`` names a block-pair solver from
+        :data:`repro.blockjacobi.BLOCK_KERNELS` (``inner_sweeps`` cyclic
+        sweeps per met pair).
+        """
+        if block_size is None:
+            from ..svd.hestenes import KERNELS
+
+            require(kernel in KERNELS,
+                    f"unknown kernel {kernel!r}; available: {', '.join(KERNELS)}")
+        else:
+            from ..blockjacobi.kernel import BLOCK_KERNELS
+
+            require(block_size >= 1, "block_size must be positive")
+            require(inner_sweeps >= 1,
+                    f"inner_sweeps must be >= 1, got {inner_sweeps!r}")
+            require(kernel in BLOCK_KERNELS,
+                    f"unknown block kernel {kernel!r}; "
+                    f"available: {', '.join(BLOCK_KERNELS)}")
         a = np.asarray(a, dtype=np.float64)
         require(a.ndim == 2, "matrix expected")
-        require(a.shape[1] == self.n_slots,
-                f"machine holds {self.n_slots} columns, matrix has {a.shape[1]}")
+        self.block_size = block_size
+        self.inner_sweeps = inner_sweeps
+        require(a.shape[1] == self.n_columns,
+                f"machine holds {self.n_columns} columns, matrix has {a.shape[1]}")
         self.X = a.copy()
         self.V = np.eye(a.shape[1]) if compute_v else None
-        self.labels = np.arange(a.shape[1], dtype=np.intp)
+        self.labels = np.arange(self.n_slots, dtype=np.intp)
         self.kernel = kernel
-        # the batched kernel's cross-sweep squared-norm cache, kept in
-        # slot order (X/V stay the canonical storage between sweeps)
-        self._norms_sq = column_norms_sq(self.X) if kernel == "batched" else None
+        if block_size is not None:
+            b = block_size
+            self.block_cols = [
+                np.arange(s * b, (s + 1) * b, dtype=np.intp)
+                for s in range(self.n_slots)
+            ]
+            self._norms_sq = None
+        else:
+            self.block_cols = None
+            # the batched kernel's cross-sweep squared-norm cache, kept in
+            # slot order (X/V stay the canonical storage between sweeps)
+            self._norms_sq = column_norms_sq(self.X) if kernel == "batched" else None
 
     def run_sweep(
         self,
@@ -78,6 +124,8 @@ class TreeMachine:
         relative off-diagonal seen before rotating)."""
         require(self.X is not None, "load() a matrix first")
         require(schedule.n == self.n_slots, "schedule size != machine size")
+        if self.block_size is not None:
+            return self._run_sweep_block(schedule, tol, sort)
         X, V, labels = self.X, self.V, self.labels
         m = X.shape[0]
         batched = self.kernel == "batched"
@@ -161,6 +209,79 @@ class TreeMachine:
             X[:] = WT[:, :m].T
             if V is not None:
                 V[:] = WT[:, m:].T
+        return stats, rstats, worst
+
+    def _run_sweep_block(
+        self,
+        schedule: Schedule,
+        tol: float,
+        sort: str | None,
+    ) -> tuple[SweepStats, RotationStats, float]:
+        """Block-granularity sweep: met pairs solve 2b-column subproblems,
+        moves carry whole blocks, records charge block work."""
+        from ..blockjacobi.kernel import solve_block_step
+
+        X, V, labels = self.X, self.V, self.labels
+        block_cols = self.block_cols
+        b = self.block_size
+        m = X.shape[0]
+        stats = SweepStats()
+        rstats = RotationStats()
+        worst = 0.0
+        for k, step in enumerate(schedule.steps, start=1):
+            rotations = 0
+            compute_t = 0.0
+            if step.pairs:
+                pair_cols = [
+                    np.concatenate([block_cols[sa], block_cols[sb]])
+                    for sa, sb in step.pairs
+                ]
+                st, mx = solve_block_step(X, V, pair_cols, tol, sort,
+                                          self.inner_sweeps, self.kernel)
+                rstats.merge(st)
+                worst = max(worst, mx)
+                # block granularity: one "rotation" per met block pair
+                rotations = len(step.pairs)
+                per_leaf: dict[int, int] = {}
+                for pa, pb in step.pairs:
+                    leaf = leaf_of_slot(pa)
+                    per_leaf[leaf] = per_leaf.get(leaf, 0) + 1
+                compute_t = self.cost.block_compute_time(
+                    max(per_leaf.values()), m, b, self.inner_sweeps
+                )
+            comm_t = 0.0
+            messages = 0
+            max_level = 0
+            contention = 0.0
+            if step.moves:
+                snapshot = {mv.src: block_cols[mv.src] for mv in step.moves}
+                for mv in step.moves:
+                    block_cols[mv.dst] = snapshot[mv.src]
+                src = np.fromiter((mv.src for mv in step.moves), dtype=np.intp)
+                dst = np.fromiter((mv.dst for mv in step.moves), dtype=np.intp)
+                labels[dst] = labels[src]
+                phase = route_phase(
+                    self.topology,
+                    ((leaf_of_slot(mv.src), leaf_of_slot(mv.dst)) for mv in step.moves),
+                )
+                messages = phase.n_messages
+                max_level = phase.max_level
+                contention = phase.contention
+                # a message carries one b-column block of b*m words (plus
+                # its V row block when vectors are accumulated)
+                words = b * (m + (X.shape[1] if V is not None else 0))
+                comm_t = self.cost.comm_time(phase, words)
+            stats.steps.append(
+                StepRecord(
+                    step=k,
+                    rotations=rotations,
+                    messages=messages,
+                    max_level=max_level,
+                    contention=contention,
+                    compute_time=compute_t,
+                    comm_time=comm_t,
+                )
+            )
         return stats, rstats, worst
 
     def column_norms(self) -> np.ndarray:

@@ -17,21 +17,32 @@ from ..core.result import SVDResult
 __all__ = ["next_admissible_width", "pad_columns", "strip_padding", "leaf_layout"]
 
 
-def next_admissible_width(n: int, power_of_two: bool = True) -> int:
-    """Smallest admissible column count >= n (power of two, or even)."""
+def next_admissible_width(n: int, power_of_two: bool = True,
+                          block_size: int = 1) -> int:
+    """Smallest admissible column count >= n.
+
+    Admissibility is decided at schedule granularity: with
+    ``block_size=b`` the width must be ``b`` times an admissible *block*
+    count (power of two >= 4 for the tree orderings, else even), so the
+    ordering runs on whole blocks.  ``block_size=1`` is the scalar rule.
+    """
+    b = block_size
+    nb = -(-n // b)  # blocks needed to cover n columns
     if power_of_two:
-        w = 4
-        while w < n:
-            w *= 2
-        return w
-    return n if n % 2 == 0 else n + 1
+        wb = 4
+        while wb < nb:
+            wb *= 2
+    else:
+        wb = nb if nb % 2 == 0 else nb + 1
+    return wb * b
 
 
-def pad_columns(a: np.ndarray, power_of_two: bool = True) -> tuple[np.ndarray, int]:
+def pad_columns(a: np.ndarray, power_of_two: bool = True,
+                block_size: int = 1) -> tuple[np.ndarray, int]:
     """Zero-pad ``a`` to an admissible width; returns (padded, original_n)."""
     a = np.asarray(a, dtype=np.float64)
     n = a.shape[1]
-    w = next_admissible_width(n, power_of_two)
+    w = next_admissible_width(n, power_of_two, block_size)
     if w == n:
         return a.copy(), n
     out = np.zeros((a.shape[0], w))

@@ -6,6 +6,13 @@ on a :class:`~repro.machine.TreeMachine`, producing a full execution
 timeline alongside the decomposition.  Convergence detection models the
 tree reduction a real machine would perform (an all-reduce over the
 leaves costs one up-and-down traversal, charged per sweep).
+
+Passing a :class:`~repro.blockjacobi.BlockJacobiOptions` (or
+``block_size`` through :func:`repro.parallel_svd`) switches the driver
+to *block* mode: the schedule runs on the ``n / b`` column blocks, each
+message carries ``b`` columns, and the machine solves the local
+``2b``-column subproblems with the chosen block kernel — the parallel
+counterpart of :func:`repro.blockjacobi.block_jacobi_svd`.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..blockjacobi.driver import BlockJacobiOptions
 from ..core.result import SVDResult, SweepRecord
 from ..machine.costmodel import CostModel
 from ..machine.simulator import TreeMachine
@@ -66,7 +74,7 @@ class ParallelJacobiSVD:
         topology: TreeTopology | str = "cm5",
         ordering: Ordering | str = "hybrid",
         cost_model: CostModel | None = None,
-        options: JacobiOptions | None = None,
+        options: JacobiOptions | BlockJacobiOptions | None = None,
         **ordering_kwargs: object,
     ):
         self._topology_spec = topology
@@ -75,9 +83,20 @@ class ParallelJacobiSVD:
         self.cost_model = cost_model or CostModel()
         self.options = options or JacobiOptions()
 
+    @property
+    def block_size(self) -> int | None:
+        """Columns per schedule unit, or ``None`` in scalar mode."""
+        if isinstance(self.options, BlockJacobiOptions):
+            return self.options.block_size
+        return None
+
     def _build(self, n: int) -> tuple[TreeMachine, Ordering]:
-        require(n % 2 == 0, "need an even number of columns (2 per leaf)")
-        n_leaves = n // 2
+        b = self.block_size or 1
+        require(n % (2 * b) == 0,
+                f"n={n} must be a multiple of 2*block_size={2 * b} "
+                "(two blocks per leaf)")
+        n_units = n // b
+        n_leaves = n_units // 2
         topo = (
             self._topology_spec
             if isinstance(self._topology_spec, TreeTopology)
@@ -88,9 +107,9 @@ class ParallelJacobiSVD:
         ordering = (
             self._ordering_spec
             if isinstance(self._ordering_spec, Ordering)
-            else make_ordering(self._ordering_spec, n, **self._ordering_kwargs)
+            else make_ordering(self._ordering_spec, n_units, **self._ordering_kwargs)
         )
-        require(ordering.n == n, "ordering size mismatch")
+        require(ordering.n == n_units, "ordering size mismatch")
         return TreeMachine(topo, self.cost_model), ordering
 
     def compute(
@@ -102,7 +121,13 @@ class ParallelJacobiSVD:
         # n > m is allowed for zero-padded inputs (at most m nonzero sigma)
         machine, ordering = self._build(n)
         opts = self.options
-        machine.load(a, compute_v=compute_uv, kernel=opts.kernel)
+        block = isinstance(opts, BlockJacobiOptions)
+        if block:
+            machine.load(a, compute_v=compute_uv, kernel=opts.kernel,
+                         block_size=opts.block_size,
+                         inner_sweeps=opts.inner_sweeps)
+        else:
+            machine.load(a, compute_v=compute_uv, kernel=opts.kernel)
         report = ParallelRunReport()
         history: list[SweepRecord] = []
         converged = False
@@ -128,7 +153,9 @@ class ParallelJacobiSVD:
                     skipped=rstats.skipped,
                 )
             )
-            if worst <= opts.tol and rstats.exchanged == 0:
+            # block mode matches the serial block driver: the local
+            # solver leaves every met pair sorted, so no exchange check
+            if worst <= opts.tol and (block or rstats.exchanged == 0):
                 converged = True
                 break
 
@@ -146,7 +173,8 @@ class ParallelJacobiSVD:
             emerged = None
         order = np.argsort(-norms, kind="stable")
         sigma = norms[order]
-        rank = int(np.count_nonzero(sigma > opts.rank_tol * max(scale, 1e-300)))
+        rank_tol = getattr(opts, "rank_tol", 1e-12)
+        rank = int(np.count_nonzero(sigma > rank_tol * max(scale, 1e-300)))
         if compute_uv:
             u = np.zeros((m, n))
             nz = sigma > 0

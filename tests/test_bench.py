@@ -54,28 +54,42 @@ class TestTiming:
 
 
 class TestScenarios:
-    def test_full_list_has_ten_quick_has_six(self):
-        assert len(default_scenarios(quick=False)) == 10
-        assert len(default_scenarios(quick=True)) == 6
+    def test_full_list_has_fourteen_quick_has_eight(self):
+        assert len(default_scenarios(quick=False)) == 14
+        assert len(default_scenarios(quick=True)) == 8
 
     def test_names_unique_and_stable(self):
         full = scenario_names(quick=False)
         assert len(set(full)) == len(full)
         assert "svd/batched/fat_tree/n64" in full
+        assert "block/gram/ring_new/n128b8" in full
+        assert "block/reference/ring_new/n128b8" in full
+        assert "parallel/hybrid/cm5/n64b4" in full
         assert "lint/registry" in full
 
-    def test_batched_scenarios_declare_their_baseline(self):
+    def test_fast_scenarios_declare_their_baseline(self):
         for s in default_scenarios():
             if s.kind == "svd-kernel" and s.params["kernel"] == "batched":
                 assert s.reference == (
                     f"svd/reference/{s.params['ordering']}/n{s.params['n']}"
                 )
+            elif s.kind == "block-kernel" and s.params["kernel"] != "reference":
+                assert s.reference == (
+                    f"block/reference/{s.params['ordering']}"
+                    f"/n{s.params['n']}b{s.params['block_size']}"
+                )
             else:
                 assert s.reference is None
 
+    def test_quick_block_pair_shares_the_full_name_structure(self):
+        quick = {s.name: s for s in default_scenarios(quick=True)}
+        assert "block/gram/ring_new/n32b4" in quick
+        assert quick["block/gram/ring_new/n32b4"].reference == \
+            "block/reference/ring_new/n32b4"
+
     @pytest.mark.parametrize(
-        "name", ["svd/batched/fat_tree/n16", "parallel/hybrid/cm5/n8",
-                 "lint/registry"]
+        "name", ["svd/batched/fat_tree/n16", "block/gram/ring_new/n32b4",
+                 "parallel/hybrid/cm5/n8", "lint/registry"]
     )
     def test_run_scenario_record_shape(self, name):
         by_name = {s.name: s for s in default_scenarios(quick=True)}
@@ -88,6 +102,13 @@ class TestScenarios:
             assert rec["meta"]["sweeps"] >= 1
         else:
             assert rec["meta"]["clean"] is True
+
+    def test_run_block_parallel_scenario(self):
+        by_name = {s.name: s for s in default_scenarios(quick=False)}
+        rec = run_scenario(by_name["parallel/hybrid/cm5/n64b4"],
+                           repeats=1, warmup=0)
+        assert rec["meta"]["converged"] is True
+        assert rec["meta"]["model_time"] > 0
 
 
 def _record(name, wall, reference=None):

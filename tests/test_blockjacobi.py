@@ -71,6 +71,25 @@ class TestValidation:
             block_jacobi_svd(rng.standard_normal((8, 8)),
                              options=BlockJacobiOptions(block_size=0))
 
+    # Regression: inner_sweeps=0 used to slip through construction and
+    # make every local solve a no-op reporting worst=0.0, so the driver
+    # declared convergence after one sweep with a wrong answer.  The
+    # options now reject non-positive sweep counts at construction.
+    @pytest.mark.parametrize("bad", [0, -1, -7])
+    def test_nonpositive_inner_sweeps_rejected(self, bad):
+        with pytest.raises(ValueError, match="inner_sweeps must be >= 1"):
+            BlockJacobiOptions(inner_sweeps=bad)
+
+    @pytest.mark.parametrize("bad", [0, -1, -7])
+    def test_nonpositive_max_sweeps_rejected(self, bad):
+        with pytest.raises(ValueError, match="max_sweeps must be >= 1"):
+            BlockJacobiOptions(max_sweeps=bad)
+
+    def test_valid_sweep_bounds_accepted(self):
+        opts = BlockJacobiOptions(inner_sweeps=1, max_sweeps=1)
+        assert opts.inner_sweeps == 1
+        assert opts.max_sweeps == 1
+
     def test_history_and_monotone_off(self, rng):
         a = rng.standard_normal((24, 16))
         r = block_jacobi_svd(a, options=BlockJacobiOptions(block_size=4))

@@ -64,6 +64,31 @@ class TestCommands:
         assert rc == 0
         assert "converged=True" in capsys.readouterr().out
 
+    def test_svd_serial_block_gram_kernel(self, capsys):
+        rc = main(["svd", "--m", "24", "--n", "16", "--serial",
+                   "--ordering", "ring_new", "--kernel", "gram",
+                   "--block-size", "4"])
+        assert rc == 0
+        assert "converged=True" in capsys.readouterr().out
+
+    def test_svd_parallel_block_mode(self, capsys):
+        rc = main(["svd", "--m", "24", "--n", "16",
+                   "--ordering", "hybrid", "--block-size", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "converged=True" in out
+        assert "contention-free=True" in out
+
+    def test_svd_gram_without_block_size_is_usage_error(self, capsys):
+        rc = main(["svd", "--kernel", "gram"])
+        assert rc == 2
+        assert "--block-size" in capsys.readouterr().out
+
+    def test_svd_nonpositive_block_size_is_usage_error(self, capsys):
+        rc = main(["svd", "--block-size", "0"])
+        assert rc == 2
+        assert "positive" in capsys.readouterr().out
+
 
 def _bench(tmp_path, *extra):
     """Run the cheapest scenario subset into tmp_path; returns exit code."""

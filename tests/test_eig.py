@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.eig import EigOptions, jacobi_eigh, symmetric_off_norm
+from repro.eig import (
+    EigOptions,
+    gram_eigh,
+    gram_eigh_batched,
+    jacobi_eigh,
+    symmetric_off_norm,
+)
 
 ORDERINGS = ["fat_tree", "round_robin", "ring_new", "odd_even", "hybrid"]
 
@@ -115,3 +121,73 @@ class TestValidationAndBehaviour:
         s_ring = jacobi_eigh(a, ordering="ring_new").sweeps
         s_rr = jacobi_eigh(a, ordering="round_robin").sweeps
         assert abs(s_ring - s_rr) <= 2
+
+
+def random_gram(k, rng):
+    y = rng.standard_normal((k + 4, k))
+    return y.T @ y
+
+
+class TestGramEigh:
+    """The in-place cyclic solver behind the gram block kernel."""
+
+    def test_diagonalizes_and_matches_eigh(self, rng):
+        g = random_gram(8, rng)
+        ref = np.sort(np.linalg.eigvalsh(g))[::-1]
+        W, rotations, sweeps, converged = gram_eigh(g)
+        assert converged and rotations > 0 and sweeps >= 1
+        # g was overwritten with W^T g W, which must now be diagonal
+        off = g - np.diag(np.diag(g))
+        assert np.max(np.abs(off)) <= 1e-11 * ref[0]
+        assert np.max(np.abs(np.sort(np.diag(g))[::-1] - ref)) <= 1e-11 * ref[0]
+
+    def test_w_is_orthogonal(self, rng):
+        g = random_gram(8, rng)
+        W, *_ = gram_eigh(g)
+        assert np.max(np.abs(W.T @ W - np.eye(8))) <= 1e-13
+
+    def test_diagonal_input_converges_without_rotations(self):
+        g = np.diag([4.0, 3.0, 2.0, 1.0])
+        W, rotations, sweeps, converged = gram_eigh(g)
+        assert converged and rotations == 0 and sweeps == 1
+        assert np.array_equal(W, np.eye(4))
+
+    def test_batched_matches_scalar_per_matrix(self, rng):
+        gs = np.stack([random_gram(6, rng) for _ in range(5)])
+        singles = [g.copy() for g in gs]
+        Ws, rotations, sweeps, converged = gram_eigh_batched(gs)
+        assert converged
+        total = 0
+        for i, g in enumerate(singles):
+            Wi, ri, *_ = gram_eigh(g)
+            total += ri
+            assert np.array_equal(Ws[i], Wi)
+            assert np.array_equal(gs[i], g)
+        # the batch charges exactly the union of the per-matrix rotations
+        assert rotations == total
+
+    def test_floor_relaxes_the_convergence_measure(self, rng):
+        # the floor enters only the convergence measure, never the
+        # (purely relative) rotation threshold: a dominant floor makes
+        # the solver settle after a single sweep while still rotating
+        g = random_gram(12, rng)
+        base_sweeps = gram_eigh(g.copy())[2]
+        assert base_sweeps > 1
+        _, rotations, sweeps, converged = gram_eigh(g, floor=1e6)
+        assert converged and sweeps == 1 and rotations > 0
+
+    def test_batched_floor_broadcasts_per_matrix(self, rng):
+        # a per-matrix floor array must broadcast over the stack; slots
+        # with floor 0 keep the strict measure and fully diagonalize
+        gs = np.stack([random_gram(4, rng) for _ in range(3)])
+        floor = np.array([0.0, 1e6, 0.0])
+        _, _, _, converged = gram_eigh_batched(gs, floor=floor)
+        assert converged
+        for i in (0, 2):
+            off = gs[i] - np.diag(np.diag(gs[i]))
+            assert np.max(np.abs(off)) <= 1e-10 * np.max(np.diag(gs[i]))
+
+    def test_sweep_budget_reports_not_converged(self, rng):
+        g = random_gram(12, rng)
+        _, _, sweeps, converged = gram_eigh(g, max_sweeps=1)
+        assert sweeps == 1 and not converged
