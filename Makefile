@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-tools lint-schedules bench bench-check bench-figures
+.PHONY: test lint lint-tools lint-schedules bench bench-check bench-figures faults
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -52,3 +52,11 @@ bench-check:
 # timed replays of the paper's figures/tables via pytest-benchmark
 bench-figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# the chaos gate: the registered single-fault campaign (fault kinds x
+# orderings, survival matrix, exit 1 on any casualty) plus the seeded
+# property-based chaos suite
+faults:
+	$(PYTHON) -m repro.cli faults --quick
+	$(PYTHON) -m pytest -x -q tests/test_faults_property.py \
+		tests/test_faults_recovery.py

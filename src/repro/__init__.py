@@ -21,20 +21,25 @@ from .apps import lstsq, pca, pinv, truncated_svd
 from .blockjacobi import BlockJacobiOptions, block_jacobi_svd
 from .core import SVDResult, SweepRecord, parallel_svd, svd
 from .eig import EigOptions, EigResult, jacobi_eigh
+from .faults import FaultPlan
 from .machine import CostModel, TreeMachine, make_topology
 from .orderings import Ordering, make_ordering, ordering_names
 from .parallel import ParallelJacobiSVD
 from .svd import JacobiOptions, jacobi_svd
+from .util.errors import ConvergenceWarning, NumericalBreakdown
 from .verify import lint_ordering, lint_schedule
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BlockJacobiOptions",
+    "ConvergenceWarning",
     "CostModel",
     "EigOptions",
     "EigResult",
+    "FaultPlan",
     "JacobiOptions",
+    "NumericalBreakdown",
     "Ordering",
     "ParallelJacobiSVD",
     "SVDResult",

@@ -16,7 +16,11 @@ protected:
                      i.e. real wall time of the simulator, not modelled
                      machine time (scalar and block granularity);
 ``lint``             latency of the static schedule verifier over the
-                     ordering registry.
+                     ordering registry;
+``faults-recovery``  one faulted parallel run (crash + silent
+                     corruption, checkpoint/rollback/remap recovery)
+                     against its fault-free twin — the simulator-side
+                     price of the fault-tolerance machinery.
 
 Scenario inputs are deterministic (fixed seed), and orderings/drivers
 are constructed *outside* the timed region — ordering construction is a
@@ -79,9 +83,10 @@ def default_scenarios(quick: bool = False) -> list[Scenario]:
 
     Full mode: scalar kernels x {fat_tree, ring_new} x n in {32, 64},
     the block kernels (gram vs reference vs batched at n=128, b=8), the
-    parallel simulator at scalar and block granularity, and the lint
-    gate (14 scenarios).  ``quick`` mode shrinks every size for CI smoke
-    runs (8 scenarios) while keeping the same name structure.
+    parallel simulator at scalar and block granularity, the
+    fault-recovery overhead run, and the lint gate (15 scenarios).
+    ``quick`` mode shrinks every size for CI smoke runs (9 scenarios)
+    while keeping the same name structure.
     """
     sizes = (16,) if quick else (32, 64)
     out = []
@@ -113,6 +118,15 @@ def default_scenarios(quick: bool = False) -> list[Scenario]:
                         "m": 72, "block_size": 4},
             )
         )
+    fn = 8 if quick else 16
+    out.append(
+        Scenario(
+            name=f"faults/recovery-overhead/n{fn}",
+            kind="faults-recovery",
+            params={"topology": "perfect", "ordering": "fat_tree",
+                    "n": fn, "m": fn + 8},
+        )
+    )
     out.append(
         Scenario(
             name="lint/registry",
@@ -188,6 +202,38 @@ def run_scenario(
                 rotations=r.rotations,
                 converged=bool(r.converged),
                 model_time=rep.total_time,
+            )
+
+    elif scenario.kind == "faults-recovery":
+        import warnings
+
+        from ..faults.campaign import CampaignCase, single_fault_plan
+        from ..parallel.driver import ParallelJacobiSVD
+        from ..util.errors import ConvergenceWarning
+
+        rng = np.random.default_rng(_SEED)
+        a = rng.standard_normal((p["m"], p["n"]))
+        driver = ParallelJacobiSVD(topology=p["topology"],
+                                   ordering=p["ordering"])
+        plan = single_fault_plan(
+            CampaignCase(p["ordering"], "crash", p["n"]))
+        plan = single_fault_plan(
+            CampaignCase(p["ordering"], "corrupt_silent", p["n"])
+        ).add(plan.faults[0])
+        # the fault-free twin is timed inside the same region so the
+        # reported figure is total (faulted + baseline) wall time and the
+        # overhead ratio lands in meta
+        def work() -> None:
+            r0, rep0 = driver.compute(a)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", ConvergenceWarning)
+                r, rep = driver.compute(a, fault_plan=plan)
+            meta.update(
+                converged=bool(r.converged),
+                rollbacks=rep.rollbacks,
+                fault_events=len(r.fault_events),
+                model_overhead=(rep.total_time / rep0.total_time
+                                if rep0.total_time else 1.0),
             )
 
     elif scenario.kind == "lint":

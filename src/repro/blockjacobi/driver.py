@@ -21,6 +21,7 @@ and met-block pairs by the local solver, the rest by the ordering).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -29,6 +30,7 @@ from ..core.result import SVDResult, SweepRecord
 from ..orderings.base import Ordering
 from ..orderings.registry import make_ordering
 from ..svd.convergence import off_norm
+from ..util.errors import ConvergenceWarning
 from ..util.validation import require
 from .kernel import BLOCK_KERNELS, solve_block_step
 
@@ -149,6 +151,21 @@ def block_jacobi_svd(
             converged = True
             break
 
+    watchdog_msg = None
+    if not converged:
+        # same refusal-to-be-silent contract as the scalar driver: diagnose
+        # the off-norm series and warn (see repro.svd.hestenes)
+        from ..faults.watchdog import ConvergenceWatchdog
+
+        dog = ConvergenceWatchdog()
+        for h in history:
+            dog.observe(h.sweep, h.off_norm)
+        watchdog_msg = dog.escalate(opts.max_sweeps)
+        warnings.warn(
+            f"block Jacobi SVD did not converge: {watchdog_msg}; the result "
+            "is a partial decomposition (check result.converged)",
+            ConvergenceWarning, stacklevel=2)
+
     norms = np.linalg.norm(X, axis=0)
     sigma_by_slot = norms.copy()
     scale = max(1.0, float(norms.max(initial=0.0)))
@@ -175,4 +192,5 @@ def block_jacobi_svd(
         u=u, sigma=sigma, v=v, rank=rank, converged=converged,
         sweeps=sweeps, rotations=sum(h.rotations for h in history),
         sigma_by_slot=sigma_by_slot, emerged_sorted=emerged, history=history,
+        watchdog=watchdog_msg,
     )

@@ -54,13 +54,31 @@ from ..svd.rotations import (
     apply_step_rotations,
     apply_step_rotations_batched,
 )
+from ..util.errors import NumericalBreakdown
 from ..util.validation import require
 
-__all__ = ["BLOCK_KERNELS", "GRAM_NOISE", "solve_block_pair",
-           "solve_block_step"]
+__all__ = ["BLOCK_KERNELS", "FALLBACK_CHAINS", "GRAM_NOISE",
+           "solve_block_pair", "solve_block_step"]
 
 #: registered block-pair kernels; ``gram`` is the BLAS-3 fast path
 BLOCK_KERNELS = ("reference", "batched", "gram")
+
+#: per-kernel fallback chain on :class:`NumericalBreakdown`: when a
+#: solver's Gram quantities go non-finite, the affected block pairs are
+#: re-solved one robustness rung down.  The guarded reference solver
+#: (direct column rotations with an overflow prescale) is the last
+#: resort; a breakdown it cannot absorb (genuinely corrupted data)
+#: propagates to the caller — under a fault-recovery driver that
+#: triggers a sweep-checkpoint rollback instead of garbage output.
+FALLBACK_CHAINS = {
+    "gram": ("gram", "batched", "reference"),
+    "batched": ("batched", "reference"),
+    "reference": ("reference",),
+}
+
+#: local column magnitudes above this trip the reference solver's
+#: prescale guard (Gram products overflow around 1e154)
+_PRESCALE_PEAK = 1e100
 
 #: safety factor of the gram kernel's convergence noise floor
 #: ``GRAM_NOISE * 2b * eps * max(G_ii)`` (see module docstring)
@@ -109,27 +127,91 @@ def solve_block_step(
     the local solves are independent and the gram kernel batches them
     into stacked BLAS-3 calls.  Returns merged rotation counters and the
     worst first-touch relative off-diagonal across all pairs.
+
+    On :class:`~repro.util.errors.NumericalBreakdown` the step degrades
+    gracefully: the pairs are re-solved one by one, each walking down
+    :data:`FALLBACK_CHAINS` (``stats.fallbacks`` counts the downgrades).
+    The stacked solvers only raise *before* touching ``X``/``V``, so the
+    per-pair retry starts from unmodified data.
     """
     require(sort in _SORT_MODES, f"sort must be one of {_SORT_MODES}, got {sort!r}")
     if not pair_cols:
         return RotationStats(), 0.0
+    require(kernel in BLOCK_KERNELS,
+            f"unknown block kernel {kernel!r}; "
+            f"available: {', '.join(BLOCK_KERNELS)}")
     if kernel == "gram":
-        return _solve_gram_many(X, V, pair_cols, tol, sort, inner_sweeps)
-    if kernel == "batched":
-        solver = _solve_batched
-    elif kernel == "reference":
-        solver = _solve_reference
-    else:
-        require(False, f"unknown block kernel {kernel!r}; "
-                       f"available: {', '.join(BLOCK_KERNELS)}")
-        raise AssertionError  # pragma: no cover - require raised
+        try:
+            return _solve_gram_many(X, V, pair_cols, tol, sort, inner_sweeps)
+        except NumericalBreakdown:
+            pass  # isolate the poisoned pairs via the per-pair chain
     stats = RotationStats()
     worst = 0.0
+    chain = FALLBACK_CHAINS[kernel]
     for cols in pair_cols:
-        st, mx = solver(X, V, cols, tol, sort, inner_sweeps)
+        st, mx = _solve_pair_chain(X, V, cols, tol, sort, inner_sweeps, chain)
         stats.merge(st)
         worst = max(worst, mx)
     return stats, worst
+
+
+def _solve_pair_chain(
+    X: np.ndarray,
+    V: np.ndarray | None,
+    cols: np.ndarray,
+    tol: float,
+    sort: str | None,
+    inner_sweeps: int,
+    chain: tuple[str, ...],
+) -> tuple[RotationStats, float]:
+    """Solve one block pair, falling down ``chain`` on breakdown."""
+    last: NumericalBreakdown | None = None
+    downgrades = 0
+    for kern in chain:
+        try:
+            if kern == "gram":
+                st, mx = _solve_gram_many(X, V, [cols], tol, sort,
+                                          inner_sweeps)
+            elif kern == "batched":
+                st, mx = _solve_batched(X, V, cols, tol, sort, inner_sweeps)
+            else:
+                st, mx = _solve_reference_guarded(X, V, cols, tol, sort,
+                                                  inner_sweeps)
+            st.fallbacks += downgrades
+            return st, mx
+        except NumericalBreakdown as exc:
+            last = exc
+            downgrades += 1
+    raise last
+
+
+def _solve_reference_guarded(
+    X: np.ndarray,
+    V: np.ndarray | None,
+    cols: np.ndarray,
+    tol: float,
+    sort: str | None,
+    inner_sweeps: int,
+) -> tuple[RotationStats, float]:
+    """Reference solver with an overflow prescale guard.
+
+    Plane rotations are scale-invariant, so when the local columns are
+    large enough for their Gram products to overflow (the breakdown the
+    fast kernels just reported), dividing the block by its peak
+    magnitude, solving, and multiplying back recovers the exact same
+    rotations without ever leaving the finite range.  Genuinely
+    corrupted data (NaN, or Inf entries) still trips the sentinels
+    inside and propagates — the fallback chain rescues overflow, not
+    corruption.
+    """
+    peak = float(np.max(np.abs(X[:, cols]), initial=0.0))
+    if np.isfinite(peak) and peak > _PRESCALE_PEAK:
+        X[:, cols] /= peak
+        try:
+            return _solve_reference(X, V, cols, tol, sort, inner_sweeps)
+        finally:
+            X[:, cols] *= peak
+    return _solve_reference(X, V, cols, tol, sort, inner_sweeps)
 
 
 def _solve_reference(
@@ -294,6 +376,15 @@ def _solve_gram_many(
     allcols = np.concatenate(pair_cols)
     Ys = X.T[allcols].reshape(nb, k, m)  # Ys[i] = Y_i^T
     G = Ys @ Ys.transpose(0, 2, 1)
+    finite = np.isfinite(G)
+    if not finite.all():
+        # breakdown sentinel: raise before any column is touched so the
+        # fallback chain can re-solve the poisoned pairs from clean data
+        i = int(np.argwhere(~finite)[0][0])
+        raise NumericalBreakdown(
+            f"non-finite Gram block for pair {i} "
+            f"(columns {pair_cols[i].tolist()})",
+            where=(int(pair_cols[i][0]), int(pair_cols[i][-1])))
     # gemm output is symmetric only to rounding; the solver updates
     # (p, q) and (q, p) through the same rotation, so symmetrise once
     G = 0.5 * (G + G.transpose(0, 2, 1))
@@ -312,6 +403,9 @@ def _solve_gram_many(
     W, rotations, _, _ = gram_eigh_batched(G, tol=tol,
                                            max_sweeps=inner_sweeps,
                                            floor=floor)
+    if not np.isfinite(W).all():
+        raise NumericalBreakdown(
+            "non-finite rotation factor from the inner Gram Jacobi")
     stats.applied = rotations
     if sort is not None:
         d2 = np.diagonal(G, axis1=1, axis2=2)

@@ -14,6 +14,8 @@ Subcommands
 ``bench [--tag T] [--compare OLD.json] [--quick] [--json]``
                                  run the timing harness, write BENCH_<tag>.json
                                  (exit 1 on perf regression vs --compare)
+``faults [--quick] [--json]``    run the registered chaos campaign and print
+                                 the survival matrix (exit 1 on any casualty)
 """
 
 from __future__ import annotations
@@ -61,6 +63,24 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--block-size", type=int, default=None, metavar="B",
                      help="run at block granularity with B columns per "
                           "schedule unit (default: scalar, 1 column)")
+    run.add_argument("--max-sweeps", type=int, default=None, metavar="S",
+                     help="outer sweep budget (exit 1 if exhausted without "
+                          "convergence)")
+    run.add_argument("--fault", default=None, metavar="KIND",
+                     help="inject one fault of this kind (see 'faults' "
+                          "subcommand) on the first remote move and recover")
+
+    faults = sub.add_parser(
+        "faults",
+        help="run the registered chaos campaign (fault kinds x orderings "
+             "x sizes) and print the survival matrix",
+    )
+    faults.add_argument("--quick", action="store_true",
+                        help="n=8, scalar reference kernel only (CI tier)")
+    faults.add_argument("--seed", type=int, default=1234,
+                        help="matrix seed of the campaign runs")
+    faults.add_argument("--json", action="store_true",
+                        help="emit machine-readable per-case outcomes")
 
     lint = sub.add_parser(
         "lint",
@@ -216,6 +236,121 @@ def _bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _svd(args: argparse.Namespace) -> int:
+    """The ``svd`` subcommand body; returns a process exit code (0 ok,
+    1 non-converged result, 2 usage error)."""
+    if args.kernel == "gram" and args.block_size is None:
+        print("--kernel gram is a block kernel; pass --block-size B")
+        return 2
+    if args.block_size is not None and args.block_size < 1:
+        print("--block-size must be a positive column count")
+        return 2
+    if args.max_sweeps is not None and args.max_sweeps < 1:
+        print("--max-sweeps must be >= 1")
+        return 2
+    options = None
+    if args.max_sweeps is not None:
+        from repro.svd import JacobiOptions
+
+        options = JacobiOptions(max_sweeps=args.max_sweeps)
+    plan = None
+    if args.fault is not None:
+        from repro.faults.campaign import CampaignCase, single_fault_plan
+        from repro.faults.plan import FAULT_KINDS
+
+        if args.fault not in FAULT_KINDS:
+            print(f"unknown fault kind {args.fault!r}; "
+                  f"available: {', '.join(FAULT_KINDS)}")
+            return 2
+        try:
+            plan = single_fault_plan(CampaignCase(
+                args.ordering, args.fault, args.n,
+                args.kernel or "reference", args.block_size))
+        except ValueError as exc:
+            print(f"cannot place a {args.fault!r} fault: {exc}")
+            return 2
+    rng = np.random.default_rng(args.seed)
+    a = rng.standard_normal((args.m, args.n))
+    import warnings
+
+    from repro.util.errors import ConvergenceWarning
+
+    with warnings.catch_warnings():
+        # the CLI reports convergence explicitly (and via the exit code)
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        if args.serial and plan is None:
+            from repro import svd
+
+            r = svd(a, ordering=args.ordering, kernel=args.kernel,
+                    block_size=args.block_size, options=options)
+            print(f"converged={r.converged} sweeps={r.sweeps} "
+                  f"rotations={r.rotations} sorted={r.emerged_sorted}")
+        else:
+            from repro import parallel_svd
+
+            r, rep = parallel_svd(a, topology=args.topology,
+                                  ordering=args.ordering, kernel=args.kernel,
+                                  block_size=args.block_size, options=options,
+                                  fault_plan=plan)
+            print(f"converged={r.converged} sweeps={r.sweeps}")
+            print(f"total={rep.total_time:.0f} compute={rep.compute_time:.0f} "
+                  f"comm={rep.comm_time:.0f}")
+            print(f"max contention={rep.max_contention:.2f} "
+                  f"contention-free={rep.contention_free}")
+            if plan is not None:
+                from repro.machine.trace import render_fault_log
+
+                print(f"recovery={rep.recovery_time:.0f} "
+                      f"rollbacks={rep.rollbacks}")
+                print(render_fault_log(r.fault_events))
+    if not r.converged:
+        print(f"NOT CONVERGED: {r.summary()}")
+        return 1
+    ref = np.linalg.svd(a, compute_uv=False)
+    err = float(np.max(np.abs(r.sigma - ref)) / ref[0])
+    print(f"max relative sigma error vs LAPACK: {err:.2e}")
+    return 0
+
+
+def _faults(args: argparse.Namespace) -> int:
+    """The ``faults`` subcommand body; returns a process exit code
+    (0 all cases survived, 1 any casualty)."""
+    import dataclasses
+    import json
+
+    from repro.faults.campaign import render_survival_matrix, run_campaign
+
+    progress = None
+    if not args.json:
+        tier = "quick" if args.quick else "full"
+        print(f"running the {tier} chaos campaign ...", flush=True)
+
+        def progress(o):
+            mark = "ok " if o.survived else "FAIL"
+            print(f"  {mark} {o.case.label}"
+                  + (f"  ({o.detail})" if o.detail else ""), flush=True)
+
+    outcomes = run_campaign(quick=args.quick, seed=args.seed,
+                            progress=progress)
+    ok = all(o.survived for o in outcomes)
+    if args.json:
+        print(json.dumps({
+            "ok": ok,
+            "quick": args.quick,
+            "seed": args.seed,
+            "cases": [
+                {**dataclasses.asdict(o.case), "survived": o.survived,
+                 "converged": o.converged, "rel_err": o.rel_err,
+                 "overhead": o.overhead, "events": o.event_counts,
+                 "detail": o.detail}
+                for o in outcomes
+            ],
+        }, indent=2))
+    else:
+        print(render_survival_matrix(outcomes))
+    return 0 if ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -283,37 +418,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "bench":
         return _bench(args)
 
+    if args.command == "faults":
+        return _faults(args)
+
     if args.command == "svd":
-        if args.kernel == "gram" and args.block_size is None:
-            print("--kernel gram is a block kernel; pass --block-size B")
-            return 2
-        if args.block_size is not None and args.block_size < 1:
-            print("--block-size must be a positive column count")
-            return 2
-        rng = np.random.default_rng(args.seed)
-        a = rng.standard_normal((args.m, args.n))
-        if args.serial:
-            from repro import svd
-
-            r = svd(a, ordering=args.ordering, kernel=args.kernel,
-                    block_size=args.block_size)
-            print(f"converged={r.converged} sweeps={r.sweeps} "
-                  f"rotations={r.rotations} sorted={r.emerged_sorted}")
-        else:
-            from repro import parallel_svd
-
-            r, rep = parallel_svd(a, topology=args.topology,
-                                  ordering=args.ordering, kernel=args.kernel,
-                                  block_size=args.block_size)
-            print(f"converged={r.converged} sweeps={r.sweeps}")
-            print(f"total={rep.total_time:.0f} compute={rep.compute_time:.0f} "
-                  f"comm={rep.comm_time:.0f}")
-            print(f"max contention={rep.max_contention:.2f} "
-                  f"contention-free={rep.contention_free}")
-        ref = np.linalg.svd(a, compute_uv=False)
-        err = float(np.max(np.abs(r.sigma - ref)) / ref[0])
-        print(f"max relative sigma error vs LAPACK: {err:.2e}")
-        return 0
+        return _svd(args)
 
     return 2  # pragma: no cover
 

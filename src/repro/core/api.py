@@ -12,6 +12,7 @@ schedule unit, BLAS-3 gram kernel by default).
 from __future__ import annotations
 
 import dataclasses
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -23,8 +24,11 @@ from ..parallel.distribution import pad_columns, strip_padding
 from ..parallel.driver import ParallelJacobiSVD, ParallelRunReport
 from ..svd.hestenes import JacobiOptions, jacobi_svd
 from ..util.bits import is_power_of_two
-from ..util.validation import require
+from ..util.validation import require, require_finite
 from .result import SVDResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.plan import FaultPlan
 
 __all__ = ["svd", "parallel_svd"]
 
@@ -82,6 +86,7 @@ def svd(
     options: JacobiOptions | BlockJacobiOptions | None = None,
     kernel: str | None = None,
     block_size: int | None = None,
+    fault_plan: "FaultPlan | None" = None,
     **ordering_kwargs: object,
 ) -> SVDResult:
     """One-sided Jacobi SVD of ``a`` (m x n, m >= n) under a parallel ordering.
@@ -99,8 +104,23 @@ def svd(
     a block kernel (``"gram"``, ``"batched"`` or ``"reference"``; the
     BLAS-3 gram kernel by default).  Admissibility and padding are then
     decided at block granularity.
+
+    ``fault_plan`` (a :class:`~repro.faults.FaultPlan`) runs the
+    decomposition on the simulated tree machine under fault injection
+    and recovery; the telemetry is discarded and only the result
+    returned (use :func:`parallel_svd` to keep the run report).
     """
     a = np.asarray(a, dtype=np.float64)
+    require(a.ndim == 2, "matrix expected")
+    require_finite(a, "a")
+    if fault_plan is not None:
+        # fault injection lives in the machine layer; run there and
+        # return just the decomposition
+        result, _ = parallel_svd(
+            a, topology="perfect", ordering=ordering, options=options,
+            kernel=kernel, block_size=block_size, fault_plan=fault_plan,
+            **ordering_kwargs)
+        return result
     bopts = _block_options(options, kernel, block_size)
     n = a.shape[1]
     pow2 = _needs_power_of_two(ordering)
@@ -136,6 +156,7 @@ def parallel_svd(
     options: JacobiOptions | BlockJacobiOptions | None = None,
     kernel: str | None = None,
     block_size: int | None = None,
+    fault_plan: "FaultPlan | None" = None,
     **ordering_kwargs: object,
 ) -> tuple[SVDResult, ParallelRunReport]:
     """Distributed SVD on a simulated tree machine; returns result + telemetry.
@@ -143,8 +164,17 @@ def parallel_svd(
     ``block_size=b`` runs the machine at block granularity: ``n / b``
     schedule units, ``b``-column messages, block kernels on the leaves
     (the BLAS-3 gram kernel by default).
+
+    ``fault_plan`` (a :class:`~repro.faults.FaultPlan`) injects the
+    planned faults during the run; the machine recovers via the ack/seq
+    transport, sweep checkpoints and leaf remapping, every recovery
+    action is charged to the cost model and recorded on
+    ``result.fault_events``, and an unrecoverable plan yields an
+    explicit ``converged=False`` result — never silently wrong output.
     """
     a = np.asarray(a, dtype=np.float64)
+    require(a.ndim == 2, "matrix expected")
+    require_finite(a, "a")
     bopts = _block_options(options, kernel, block_size)
     pow2 = _needs_power_of_two(ordering)
     if bopts is not None:
@@ -161,7 +191,7 @@ def parallel_svd(
         options=options,
         **ordering_kwargs,
     )
-    result, report = driver.compute(padded)
+    result, report = driver.compute(padded, fault_plan=fault_plan)
     if padded.shape[1] != orig:
         result = strip_padding(result, orig)
     return result, report

@@ -3,8 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.events import FaultEvent
 
 __all__ = ["SVDResult", "SweepRecord"]
 
@@ -30,6 +34,15 @@ class SVDResult:
     ``sigma_by_slot`` preserves the physical slot order at termination —
     the quantity the paper's sorted-output claims are about — while
     ``sigma`` is canonically sorted for consumers.
+
+    ``converged`` must be checked by callers that care about accuracy:
+    a ``False`` value means the sweep budget ran out (or fault recovery
+    was exhausted) and the factors are a partial decomposition.  The
+    drivers additionally emit a
+    :class:`~repro.util.errors.ConvergenceWarning` in that case, so the
+    condition is never silent.  Under a fault plan, ``fault_events``
+    carries the full injection/recovery audit trail and ``watchdog`` any
+    convergence-stall diagnosis.
     """
 
     u: np.ndarray
@@ -42,6 +55,33 @@ class SVDResult:
     sigma_by_slot: np.ndarray
     emerged_sorted: str | None
     history: list[SweepRecord] = field(default_factory=list)
+    fault_events: list["FaultEvent"] = field(default_factory=list)
+    watchdog: str | None = None
+
+    @property
+    def sweeps_used(self) -> int:
+        """Sweeps actually executed (alias of ``sweeps``, named for the
+        convergence summary: compare against the driver's ``max_sweeps``)."""
+        return self.sweeps
+
+    def fault_summary(self) -> dict[str, int]:
+        """Fault/recovery event counts per action (empty when fault-free)."""
+        from ..faults.events import summarize_events
+
+        return summarize_events(self.fault_events)
+
+    def summary(self) -> str:
+        """One-line convergence/fault summary for logs and CLIs."""
+        state = "converged" if self.converged else "NOT converged"
+        line = (f"{state} in {self.sweeps_used} sweeps, "
+                f"rank {self.rank}, {self.rotations} rotations")
+        if self.fault_events:
+            counts = self.fault_summary()
+            shown = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+            line += f"; fault events: {shown}"
+        if self.watchdog:
+            line += f"; watchdog: {self.watchdog}"
+        return line
 
     def reconstruct(self) -> np.ndarray:
         """``u @ diag(sigma) @ v.T`` (``u``, ``sigma``, ``v`` share the

@@ -1,0 +1,134 @@
+"""Shared corruption primitives for negative tests and chaos injection.
+
+Two consumers need to break things on purpose, and they must not drift
+apart:
+
+* :mod:`repro.verify.corrupt` builds *broken schedules* so the static
+  verifier's negative tests can assert each rule fires (message dropped
+  from a schedule, duplicated rotation, reversed ring step, ...);
+* :mod:`repro.faults` breaks *live messages and payloads* so the
+  recovery subsystem can be chaos-tested (the same message drop, but at
+  run time, with a transport that must retransmit it).
+
+This module holds the primitives both share: the unchecked
+``Step``/``Schedule`` builders that bypass constructor validation, the
+link-selection helpers that pick a concrete message out of a schedule,
+and the payload-corruption operators applied to in-flight column data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..orderings.schedule import Move, Schedule, Step
+
+__all__ = [
+    "PAYLOAD_MODES",
+    "corrupt_payload",
+    "first_remote_move",
+    "remote_moves",
+    "unchecked_schedule",
+    "unchecked_step",
+]
+
+
+# ---------------------------------------------------------------------------
+# unchecked schedule builders (negative tests need unrepresentable objects)
+
+def unchecked_step(
+    pairs: tuple[tuple[int, int], ...], moves: tuple[Move, ...] = ()
+) -> Step:
+    """Build a :class:`Step` without running its validation.
+
+    Some corruptions are unrepresentable through the validating
+    constructors (``Step`` rejects non-permutation moves at build time),
+    which is exactly the scenario the verifier exists for: input that
+    did *not* come through our constructors.
+    """
+    step = object.__new__(Step)
+    object.__setattr__(step, "pairs", tuple(pairs))
+    object.__setattr__(step, "moves", tuple(moves))
+    return step
+
+
+def unchecked_schedule(
+    n: int, steps: list[Step], name: str,
+    notes: dict[str, object] | None = None,
+) -> Schedule:
+    """Build a :class:`Schedule` without running its validation."""
+    sched = object.__new__(Schedule)
+    sched.n = n
+    sched.steps = list(steps)
+    sched.name = name
+    sched.notes = dict(notes) if notes else {}
+    return sched
+
+
+# ---------------------------------------------------------------------------
+# link selection: name a concrete message of a schedule to break
+
+def remote_moves(schedule: Schedule) -> list[tuple[int, Move]]:
+    """All inter-leaf moves of a sweep as ``(step_number, move)`` pairs.
+
+    ``step_number`` is 1-based, matching the simulator's
+    :class:`~repro.machine.stats.StepRecord` numbering, so a fault
+    plan built from this list lines up with the trace it produces.
+    """
+    return [(k, m) for k, m in schedule.all_moves() if not m.is_local]
+
+
+def first_remote_move(schedule: Schedule) -> tuple[int, Move]:
+    """The first inter-leaf move of a sweep (step_number, move).
+
+    The canonical target for single-fault scenarios: every shipped
+    ordering communicates, so this always exists for n >= 4.
+    """
+    found = remote_moves(schedule)
+    if not found:
+        raise ValueError(f"{schedule.name} has no inter-leaf move to target")
+    return found[0]
+
+
+# ---------------------------------------------------------------------------
+# payload corruption operators (chaos injection on in-flight columns)
+
+#: registered payload corruption modes.  ``nan``/``inf`` are the
+#: *silent*-corruption models — they evade the transport checksum but are
+#: caught by the kernels' non-finite sentinels; the finite modes model
+#: checksum-detectable damage (the transport retransmits, so they never
+#: reach the matrix).
+PAYLOAD_MODES = ("nan", "inf", "zero", "scale", "negate")
+
+
+def corrupt_payload(
+    data: np.ndarray, mode: str, rng: np.random.Generator | None = None
+) -> None:
+    """Corrupt a payload buffer in place.
+
+    ``data`` is the column (or column block) as stored — any shape, and
+    possibly a strided view into the distributed matrix (which is why
+    the entry is addressed through ``unravel_index`` rather than a
+    flattening reshape, which would silently copy a non-contiguous
+    view).  The damaged entry is chosen by ``rng`` when given, else
+    entry 0, so a seeded fault plan reproduces the same corruption bit
+    for bit.
+    """
+    if mode not in PAYLOAD_MODES:
+        raise ValueError(
+            f"unknown payload corruption mode {mode!r}; "
+            f"available: {', '.join(PAYLOAD_MODES)}"
+        )
+    if data.size == 0:
+        return
+    k = int(rng.integers(data.size)) if rng is not None else 0
+    idx = np.unravel_index(k, data.shape)
+    if mode == "nan":
+        data[idx] = np.nan
+    elif mode == "inf":
+        data[idx] = np.inf
+    elif mode == "zero":
+        data[idx] = 0.0
+    elif mode == "scale":
+        data[idx] = data[idx] * 1e3 if data[idx] != 0.0 else 1e3
+    elif mode == "negate":
+        data[idx] = -data[idx]

@@ -1,0 +1,35 @@
+"""Exception types for the fault-injection and recovery subsystem."""
+
+from __future__ import annotations
+
+__all__ = ["FaultError", "LeafFailure", "UnrecoverableFault"]
+
+
+class FaultError(RuntimeError):
+    """Base class for failures surfaced by the fault subsystem."""
+
+
+class LeafFailure(FaultError):
+    """A leaf processor stopped answering (crash-stop detected).
+
+    Raised by the ack/seq transport when every retransmission attempt to
+    a leaf timed out and the injector confirms it dead.  The recovery
+    driver catches this, rolls back to the sweep checkpoint, remaps the
+    dead leaf's columns onto its sibling and retries the sweep.
+    """
+
+    def __init__(self, message: str, leaf: int):
+        super().__init__(message)
+        #: index of the dead leaf
+        self.leaf = leaf
+
+
+class UnrecoverableFault(FaultError):
+    """Recovery budgets are exhausted; the run must fail explicitly.
+
+    Raised when a message still cannot be delivered after
+    ``max_retries`` attempts to a leaf that is *not* dead (so remapping
+    does not apply), or when a sweep keeps failing after
+    ``max_sweep_attempts`` rollbacks.  The driver converts this into an
+    explicit failed result (``converged=False``) — never silent garbage.
+    """

@@ -1,0 +1,134 @@
+"""``FaultInjector`` — live, stateful instantiation of a ``FaultPlan``.
+
+A :class:`~repro.faults.plan.FaultPlan` is an immutable scenario; the
+injector is its per-run state: which faults still have fires left,
+which leaves are dead, the seeded RNG used for payload corruption, and
+the master log of every :class:`~repro.faults.events.FaultEvent`.  One
+injector is created per ``compute`` call and installed into the
+:class:`~repro.machine.simulator.TreeMachine` via ``install_faults``;
+the ack/seq transport consults it per message, the simulator per step.
+
+Determinism: all randomness flows from ``plan.seed`` through one
+``numpy`` Generator, and fault firing order is the plan's declaration
+order — two runs of the same plan on the same matrix produce the same
+trace, byte for byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.validation import require
+from .events import FaultEvent
+from .plan import Fault, FaultPlan
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Per-run fault state: armed fires, dead leaves, RNG, event log."""
+
+    def __init__(self, plan: FaultPlan, n_leaves: int):
+        require(n_leaves >= 2, f"need at least 2 leaves, got {n_leaves!r}")
+        for f in plan.faults:
+            for name in ("src", "dst", "leaf"):
+                v = getattr(f, name)
+                require(v is None or v < n_leaves,
+                        f"fault {name}={v!r} out of range for "
+                        f"{n_leaves} leaves")
+        self.plan = plan
+        self.n_leaves = n_leaves
+        self.rng = np.random.default_rng(plan.seed)
+        #: leaves confirmed crash-stopped (persists across rollbacks)
+        self.dead: set[int] = set()
+        #: master event log, in firing order
+        self.log: list[FaultEvent] = []
+        # mutable [fault, fires_remaining] cells, in declaration order
+        self._armed: list[list] = [[f, f.fires] for f in plan.faults]
+
+    # -- plan budgets ----------------------------------------------------
+    @property
+    def max_retries(self) -> int:
+        return self.plan.max_retries
+
+    @property
+    def max_sweep_attempts(self) -> int:
+        return self.plan.max_sweep_attempts
+
+    # -- event log -------------------------------------------------------
+    def record(self, event: FaultEvent) -> FaultEvent:
+        """Append one event to the master log and return it."""
+        self.log.append(event)
+        return event
+
+    # -- step lifecycle --------------------------------------------------
+    def advance(self, sweep: int, step: int) -> list[int]:
+        """Fire crash faults scheduled at (sweep, step); return new deaths.
+
+        Called by the simulator at the top of every step.  A leaf
+        already in :attr:`dead` (e.g. on a rolled-back sweep that
+        revisits the crash point) is not reported again.
+        """
+        newly_dead: list[int] = []
+        for cell in self._armed:
+            fault, left = cell
+            if left <= 0 or fault.kind != "crash":
+                continue
+            if fault.sweep == sweep and fault.step == step:
+                cell[1] -= 1
+                if fault.leaf not in self.dead:
+                    self.dead.add(fault.leaf)
+                    newly_dead.append(fault.leaf)
+        return newly_dead
+
+    def stalls(self, sweep: int, step: int) -> list[tuple[int, float]]:
+        """Consume stall faults hitting (sweep, step): ``(leaf, duration)``."""
+        hits: list[tuple[int, float]] = []
+        for cell in self._armed:
+            fault, left = cell
+            if left <= 0 or fault.kind != "stall":
+                continue
+            if ((fault.sweep is None or fault.sweep == sweep)
+                    and (fault.step is None or fault.step == step)):
+                cell[1] -= 1
+                hits.append((fault.leaf, fault.duration))
+        return hits
+
+    # -- per-message verdicts (consulted by the transport) ---------------
+    def outage_fault(self, sweep: int, step: int, level: int) -> Fault | None:
+        """An active outage covering a level-``level`` message, if any.
+
+        Outages are window-shaped, not per-message: fires are *not*
+        consumed here.  The transport clears the fault explicitly once a
+        sender has waited the window out (time has moved past it).
+        """
+        for fault, left in self._armed:
+            if left > 0 and fault.outage_covers(sweep, step, level):
+                return fault
+        return None
+
+    def message_fault(self, sweep: int, step: int,
+                      src: int, dst: int) -> Fault | None:
+        """Consume and return the first armed fault hitting this message.
+
+        Called once per transmission *attempt*, so ``fires=k`` on a drop
+        makes exactly the first ``k`` attempts fail — the retransmission
+        after them goes through, which is what makes single-fault
+        recovery deterministic.
+        """
+        for cell in self._armed:
+            fault, left = cell
+            if left > 0 and fault.matches_message(sweep, step, src, dst):
+                cell[1] -= 1
+                return fault
+        return None
+
+    def clear(self, fault: Fault) -> None:
+        """Spend all remaining fires of ``fault`` (e.g. a waited-out outage)."""
+        for cell in self._armed:
+            if cell[0] is fault:
+                cell[1] = 0
+
+    def pending(self) -> int:
+        """Total unspent fires across all armed faults (test/debug aid)."""
+        return sum(max(0, left) for _, left in self._armed)

@@ -1,0 +1,193 @@
+"""``FaultPlan`` — a deterministic, seed-reproducible fault-injection DSL.
+
+A plan is an immutable list of :class:`Fault` specs plus a seed and the
+recovery budgets.  Each spec names *where* a fault strikes (sweep, step,
+link endpoints, leaf or tree level) and *what* happens there:
+
+=================  =======================================================
+kind               semantics
+=================  =======================================================
+``drop``           the message is lost in flight; the sender times out
+                   and retransmits (ack/seq transport)
+``duplicate``      the message is delivered twice; the receiver dedups
+                   the second copy by sequence number
+``delay``          the message arrives late; past the retransmission
+                   timeout the sender resends and the late original is
+                   deduped
+``corrupt``        the payload is damaged in flight but the checksum
+                   catches it; the receiver nacks and the sender resends
+``corrupt_silent`` the damage evades the checksum (NaN/Inf injected into
+                   the payload); caught later by the kernels' non-finite
+                   sentinels, triggering a sweep-checkpoint rollback
+``stall``          a processor freezes for ``duration`` time units in
+                   one step (transient; charged to that step)
+``crash``          crash-stop: the processor dies at (sweep, step) and
+                   never answers again; detected by peer timeout, its
+                   columns are remapped onto the sibling leaf and the
+                   sweep re-run from the checkpoint
+``outage``         every channel of tree level ``level`` is down for the
+                   step window ``[step, until_step]`` of one sweep;
+                   senders back off and finally wait the window out
+=================  =======================================================
+
+``sweep``/``step``/``src``/``dst`` may be ``None`` as wildcards (match
+any).  ``fires`` bounds how many times a spec triggers (default 1), so a
+rolled-back sweep retries against a machine whose transient faults are
+spent — the property that makes recovery deterministic and testable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..util.validation import require
+from .corruptions import PAYLOAD_MODES
+
+__all__ = ["FAULT_KINDS", "Fault", "FaultPlan"]
+
+#: the registered fault kinds, in campaign order
+FAULT_KINDS = (
+    "drop",
+    "duplicate",
+    "delay",
+    "corrupt",
+    "corrupt_silent",
+    "stall",
+    "crash",
+    "outage",
+)
+
+_MESSAGE_KINDS = frozenset(
+    {"drop", "duplicate", "delay", "corrupt", "corrupt_silent"})
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One armed fault.  Use the :class:`FaultPlan` builders to make these."""
+
+    kind: str
+    sweep: int | None = None
+    step: int | None = None
+    src: int | None = None
+    dst: int | None = None
+    leaf: int | None = None
+    level: int | None = None
+    until_step: int | None = None
+    duration: float = 0.0
+    mode: str = "nan"
+    fires: int = 1
+
+    def __post_init__(self) -> None:
+        require(self.kind in FAULT_KINDS,
+                f"unknown fault kind {self.kind!r}; "
+                f"available: {', '.join(FAULT_KINDS)}")
+        require(self.fires >= 1, f"fires must be >= 1, got {self.fires!r}")
+        require(self.mode in PAYLOAD_MODES,
+                f"unknown corruption mode {self.mode!r}; "
+                f"available: {', '.join(PAYLOAD_MODES)}")
+        for name in ("sweep", "step", "src", "dst", "leaf"):
+            v = getattr(self, name)
+            require(v is None or v >= 0, f"{name} must be >= 0, got {v!r}")
+        if self.kind == "stall":
+            require(self.duration > 0.0, "stall needs a positive duration")
+            require(self.leaf is not None, "stall needs a leaf")
+        if self.kind == "crash":
+            require(self.leaf is not None, "crash needs a leaf")
+        if self.kind == "outage":
+            require(self.level is not None and self.level >= 1,
+                    "outage needs a tree level >= 1")
+            require(self.sweep is not None and self.step is not None,
+                    "outage needs an explicit (sweep, step) window start")
+            end = self.until_step if self.until_step is not None else self.step
+            require(end >= self.step, "outage window must end at or after start")
+
+    def matches_message(self, sweep: int, step: int,
+                        src: int, dst: int) -> bool:
+        """Does this (armed message-kind) fault hit the given message?"""
+        if self.kind not in _MESSAGE_KINDS:
+            return False
+        return ((self.sweep is None or self.sweep == sweep)
+                and (self.step is None or self.step == step)
+                and (self.src is None or self.src == src)
+                and (self.dst is None or self.dst == dst))
+
+    def outage_covers(self, sweep: int, step: int, level: int) -> bool:
+        """Is a level-``level`` message at (sweep, step) inside the window?"""
+        if self.kind != "outage":
+            return False
+        end = self.until_step if self.until_step is not None else self.step
+        return (self.sweep == sweep and self.step <= step <= end
+                and level >= self.level)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable chaos scenario: faults + seed + recovery budgets.
+
+    Builder methods return extended copies, so plans compose fluently::
+
+        plan = (FaultPlan(seed=7)
+                .drop(sweep=0, step=2, src=0, dst=1)
+                .crash(leaf=3, sweep=1, step=1))
+
+    ``max_retries`` caps the transport's retransmission attempts per
+    message (exponential backoff in between); ``max_sweep_attempts``
+    caps checkpoint rollback-and-retry per sweep.  Both bounds are what
+    turns "never deadlocks" into a provable property: every recovery
+    path either succeeds within its budget or escalates explicitly.
+    """
+
+    faults: tuple[Fault, ...] = ()
+    seed: int = 0
+    max_retries: int = 4
+    max_sweep_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        require(self.max_retries >= 1, "max_retries must be >= 1")
+        require(self.max_sweep_attempts >= 1, "max_sweep_attempts must be >= 1")
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def add(self, fault: Fault) -> "FaultPlan":
+        """Extended copy with one more armed fault."""
+        return dataclasses.replace(self, faults=(*self.faults, fault))
+
+    # -- fluent single-fault builders ------------------------------------
+    def drop(self, sweep: int | None = None, step: int | None = None,
+             src: int | None = None, dst: int | None = None,
+             fires: int = 1) -> "FaultPlan":
+        return self.add(Fault("drop", sweep=sweep, step=step,
+                              src=src, dst=dst, fires=fires))
+
+    def duplicate(self, sweep: int | None = None, step: int | None = None,
+                  src: int | None = None, dst: int | None = None) -> "FaultPlan":
+        return self.add(Fault("duplicate", sweep=sweep, step=step,
+                              src=src, dst=dst))
+
+    def delay(self, sweep: int | None = None, step: int | None = None,
+              src: int | None = None, dst: int | None = None,
+              duration: float = 0.0) -> "FaultPlan":
+        return self.add(Fault("delay", sweep=sweep, step=step,
+                              src=src, dst=dst, duration=duration))
+
+    def corrupt(self, sweep: int | None = None, step: int | None = None,
+                src: int | None = None, dst: int | None = None,
+                mode: str = "scale", silent: bool = False) -> "FaultPlan":
+        kind = "corrupt_silent" if silent else "corrupt"
+        return self.add(Fault(kind, sweep=sweep, step=step,
+                              src=src, dst=dst, mode=mode))
+
+    def stall(self, leaf: int, sweep: int | None = None,
+              step: int | None = None, duration: float = 200.0) -> "FaultPlan":
+        return self.add(Fault("stall", sweep=sweep, step=step,
+                              leaf=leaf, duration=duration))
+
+    def crash(self, leaf: int, sweep: int = 0, step: int = 1) -> "FaultPlan":
+        return self.add(Fault("crash", sweep=sweep, step=step, leaf=leaf))
+
+    def outage(self, level: int, sweep: int, step: int,
+               until_step: int | None = None) -> "FaultPlan":
+        return self.add(Fault("outage", sweep=sweep, step=step,
+                              level=level, until_step=until_step))

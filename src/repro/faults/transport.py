@@ -1,0 +1,255 @@
+"""Ack/seq reliable transport for TreeMachine links.
+
+When a fault plan is installed, every inter-leaf move of a schedule
+step goes through :class:`AckTransport` instead of being assumed
+delivered.  The transport models the standard reliability recipe:
+
+* every directed link carries a **sequence number**; the receiver keeps
+  a per-link set of delivered sequences and discards duplicates;
+* every delivery is **acknowledged**; a sender that sees no ack within
+  ``cost.retry_timeout`` retransmits, waiting a capped exponential
+  backoff (``cost.backoff_time``) between attempts, at most
+  ``plan.max_retries`` times;
+* a checksum catches in-flight payload damage (``corrupt``) and turns
+  it into a retransmission; ``corrupt_silent`` models damage below the
+  checksum's reach — it is delivered and must be caught downstream by
+  the kernels' non-finite sentinels.
+
+Escalation is explicit and bounded — this is what "no deadlock" means:
+
+* retries exhausted against a **dead** peer → :class:`LeafFailure`
+  (driver rolls back and remaps the leaf onto its sibling);
+* retries exhausted during a **link outage** → the sender waits the
+  remaining window out (``cost.outage_wait``), the fault is cleared,
+  delivery proceeds;
+* retries exhausted with the peer alive and the link up →
+  :class:`UnrecoverableFault` (driver fails the run explicitly).
+
+Every reaction is priced through :class:`~repro.machine.costmodel.CostModel`
+and logged as :class:`~repro.faults.events.FaultEvent` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.costmodel import CostModel
+from .errors import LeafFailure, UnrecoverableFault
+from .events import FaultEvent
+from .injector import FaultInjector
+
+__all__ = ["AckTransport", "PhaseOutcome"]
+
+
+@dataclass
+class PhaseOutcome:
+    """What one message phase cost on top of the fault-free model."""
+
+    extra_time: float = 0.0
+    retries: int = 0
+    events: list[FaultEvent] = field(default_factory=list)
+    #: ``(src_leaf, dst_leaf, mode)`` of silently corrupted payloads the
+    #: simulator must damage after performing the move
+    silent: list[tuple[int, int, str]] = field(default_factory=list)
+
+
+class AckTransport:
+    """Reliable delivery over the simulated tree links."""
+
+    def __init__(self, cost: CostModel, injector: FaultInjector):
+        self.cost = cost
+        self.injector = injector
+        self._next_seq: dict[tuple[int, int], int] = {}
+        self._delivered: dict[tuple[int, int], set[int]] = {}
+
+    def deliver_phase(
+        self,
+        sweep: int,
+        step: int,
+        messages: list[tuple[int, int, int]],
+        words: int,
+    ) -> PhaseOutcome:
+        """Deliver one phase of ``(src_leaf, dst_leaf, level)`` messages.
+
+        Recovery of distinct messages overlaps (the phase is
+        synchronous), so the phase is charged the *worst* message's
+        extra time, plus one ack sub-phase for the whole step.
+        """
+        out = PhaseOutcome()
+        worst = 0.0
+        for src, dst, level in messages:
+            extra = self._deliver_one(out, sweep, step, src, dst, level, words)
+            worst = max(worst, extra)
+        out.extra_time = worst
+        if messages:
+            out.extra_time += self.cost.ack_time(len(messages))
+        return out
+
+    # -- one message, with bounded retries -------------------------------
+    def _deliver_one(
+        self,
+        out: PhaseOutcome,
+        sweep: int,
+        step: int,
+        src: int,
+        dst: int,
+        level: int,
+        words: int,
+    ) -> float:
+        inj = self.injector
+        cost = self.cost
+        extra = 0.0
+
+        def log(event: FaultEvent) -> None:
+            inj.record(event)
+            out.events.append(event)
+
+        if src in inj.dead or dst in inj.dead:
+            # The peer never acks: burn the full retry budget, then
+            # report the crash so the driver can roll back and remap.
+            leaf = dst if dst in inj.dead else src
+            for attempt in range(inj.max_retries):
+                extra += cost.backoff_time(attempt)
+                out.retries += 1
+                log(FaultEvent("crash", "retry", sweep, step, attempt=attempt,
+                               src=src, dst=dst, leaf=leaf,
+                               time_charged=cost.backoff_time(attempt),
+                               detail="no ack from dead peer"))
+            ev = FaultEvent("crash", "injected", sweep, step,
+                            src=src, dst=dst, leaf=leaf,
+                            time_charged=extra,
+                            detail=f"leaf {leaf} unresponsive after "
+                                   f"{inj.max_retries} retries")
+            log(ev)
+            out.extra_time = max(out.extra_time, extra)
+            raise LeafFailure(ev.describe(), leaf=leaf)
+
+        key = (src, dst)
+        seq = self._next_seq.get(key, 0)
+        attempt = 0
+        while True:
+            outage = inj.outage_fault(sweep, step, level)
+            if outage is not None:
+                if attempt == 0:
+                    log(FaultEvent("outage", "injected", sweep, step,
+                                   src=src, dst=dst, level=outage.level,
+                                   detail=f"level-{outage.level} links down"))
+                if attempt < inj.max_retries:
+                    wait = cost.backoff_time(attempt)
+                    extra += wait
+                    out.retries += 1
+                    log(FaultEvent("outage", "retry", sweep, step,
+                                   attempt=attempt, src=src, dst=dst,
+                                   level=outage.level, time_charged=wait))
+                    attempt += 1
+                    continue
+                end = (outage.until_step if outage.until_step is not None
+                       else outage.step)
+                remaining = max(1, end - step + 1)
+                wait = cost.outage_wait(remaining)
+                extra += wait
+                log(FaultEvent("outage", "outage-wait", sweep, step,
+                               src=src, dst=dst, level=outage.level,
+                               time_charged=wait,
+                               detail=f"waited out {remaining}-step window"))
+                inj.clear(outage)
+                continue
+
+            fault = inj.message_fault(sweep, step, src, dst)
+            if fault is None:
+                break  # clean delivery
+
+            if fault.kind == "drop":
+                log(FaultEvent("drop", "injected", sweep, step,
+                               attempt=attempt, src=src, dst=dst,
+                               detail=f"seq {seq} lost in flight"))
+                if attempt >= inj.max_retries:
+                    ev = FaultEvent("drop", "unrecoverable", sweep, step,
+                                    attempt=attempt, src=src, dst=dst,
+                                    detail=f"still dropped after "
+                                           f"{inj.max_retries} retries")
+                    log(ev)
+                    raise UnrecoverableFault(ev.describe())
+                wait = cost.backoff_time(attempt) + cost.retransmit_time(
+                    words, level)
+                extra += wait
+                out.retries += 1
+                log(FaultEvent("drop", "retry", sweep, step, attempt=attempt,
+                               src=src, dst=dst, time_charged=wait))
+                attempt += 1
+                continue
+
+            if fault.kind == "corrupt":
+                log(FaultEvent("corrupt", "injected", sweep, step,
+                               attempt=attempt, src=src, dst=dst,
+                               detail="checksum mismatch, nack sent"))
+                if attempt >= inj.max_retries:
+                    ev = FaultEvent("corrupt", "unrecoverable", sweep, step,
+                                    attempt=attempt, src=src, dst=dst,
+                                    detail=f"still corrupted after "
+                                           f"{inj.max_retries} retries")
+                    log(ev)
+                    raise UnrecoverableFault(ev.describe())
+                wait = cost.retransmit_time(words, level)
+                extra += wait
+                out.retries += 1
+                log(FaultEvent("corrupt", "retry", sweep, step,
+                               attempt=attempt, src=src, dst=dst,
+                               time_charged=wait))
+                attempt += 1
+                continue
+
+            if fault.kind == "duplicate":
+                # First copy is delivered below; the second arrives with
+                # the same sequence number and hits the dedup set.
+                wait = cost.duplicate_time(words)
+                extra += wait
+                log(FaultEvent("duplicate", "injected", sweep, step,
+                               src=src, dst=dst,
+                               detail=f"seq {seq} delivered twice"))
+                log(FaultEvent("duplicate", "dedup", sweep, step,
+                               src=src, dst=dst, time_charged=wait,
+                               detail=f"second copy of seq {seq} discarded"))
+                break
+
+            if fault.kind == "delay":
+                lateness = (fault.duration if fault.duration > 0.0
+                            else 1.5 * cost.retry_timeout)
+                log(FaultEvent("delay", "injected", sweep, step,
+                               src=src, dst=dst,
+                               detail=f"seq {seq} late by {lateness:.0f}"))
+                if lateness <= cost.retry_timeout:
+                    extra += lateness
+                    log(FaultEvent("delay", "delivered-late", sweep, step,
+                                   src=src, dst=dst, time_charged=lateness))
+                else:
+                    # Timeout fired before the original arrived: the
+                    # retransmitted copy wins, the late original is
+                    # discarded by sequence number.
+                    wait = (cost.backoff_time(0)
+                            + cost.retransmit_time(words, level))
+                    extra += wait
+                    out.retries += 1
+                    log(FaultEvent("delay", "retry", sweep, step,
+                                   src=src, dst=dst, time_charged=wait,
+                                   detail="timeout before late arrival"))
+                    log(FaultEvent("delay", "dedup", sweep, step,
+                                   src=src, dst=dst,
+                                   detail=f"late original seq {seq} "
+                                          "discarded"))
+                break
+
+            # corrupt_silent: below the checksum's reach — delivered as
+            # is; the kernels' non-finite sentinels must catch it later.
+            out.silent.append((src, dst, fault.mode))
+            log(FaultEvent("corrupt_silent", "injected", sweep, step,
+                           src=src, dst=dst,
+                           detail=f"payload damaged ({fault.mode}), "
+                                  "checksum passed"))
+            log(FaultEvent("corrupt_silent", "corrupted", sweep, step,
+                           src=src, dst=dst))
+            break
+
+        self._next_seq[key] = seq + 1
+        self._delivered.setdefault(key, set()).add(seq)
+        return extra

@@ -36,12 +36,19 @@ class CostModel:
     ``beta``       — per-word transfer time on one channel wire
     ``flop_time``  — time per floating point operation
     ``hop_time``   — per-level pipelining latency of a message
+
+    Fault-recovery constants (used only when a fault plan is active):
+
+    ``retry_timeout`` — sender-side retransmission timeout of the
+    ack/seq transport; ``backoff_cap`` caps its exponential growth.
     """
 
     alpha: float = 50.0
     beta: float = 0.25
     flop_time: float = 0.01
     hop_time: float = 2.0
+    retry_timeout: float = 200.0
+    backoff_cap: float = 1600.0
 
     def rotation_flops(self, m: int) -> int:
         """Flops of one plane rotation on two length-``m`` columns:
@@ -73,3 +80,50 @@ class CostModel:
             + self.hop_time * 2 * phase.max_level
             + self.beta * words_per_message * rounds
         )
+
+    # -- fault-recovery charges (ack/seq transport and checkpointing) ----
+
+    def backoff_time(self, attempt: int) -> float:
+        """Sender wait before retransmission ``attempt`` (0-based):
+        capped exponential backoff on the base timeout."""
+        return min(self.retry_timeout * (2.0 ** attempt), self.backoff_cap)
+
+    def retransmit_time(self, words: int, level: int) -> float:
+        """One retransmission of a ``words``-word message over an
+        uncontended path of the given level (startup + hops + transfer)."""
+        return self.alpha + self.hop_time * 2 * level + self.beta * words
+
+    def ack_time(self, n_messages: int) -> float:
+        """Per-phase acknowledgement traffic: one tiny (1-word) reverse
+        message per delivery, pipelined — charged once per phase."""
+        if n_messages == 0:
+            return 0.0
+        return self.alpha + self.beta * n_messages
+
+    def duplicate_time(self, words: int) -> float:
+        """Receiver-side cost of catching a duplicated delivery: the
+        redundant transfer occupies the wire, the dedup check is free."""
+        return self.beta * words
+
+    def checkpoint_time(self, words: int) -> float:
+        """Sweep-boundary checkpoint: every leaf copies its resident
+        columns (``words`` in total) to local stable storage, in
+        parallel — memory-speed, so beta-priced without startup."""
+        return self.beta * words
+
+    def rollback_time(self, words: int) -> float:
+        """Restoring a checkpoint costs the same copy plus one
+        synchronisation startup to re-align the leaves."""
+        return self.alpha + self.beta * words
+
+    def remap_time(self, words: int, level: int = 1) -> float:
+        """Re-hosting a dead leaf's columns on its sibling: one bulk
+        transfer of ``words`` words over a level-``level`` path (the
+        sibling shares the lowest switch) plus coordination startup."""
+        return 2 * self.alpha + self.hop_time * 2 * level + self.beta * words
+
+    def outage_wait(self, steps_remaining: int) -> float:
+        """Waiting out a link-outage window after backoff is exhausted:
+        the sender idles for the remaining window, priced at one capped
+        backoff per step still covered."""
+        return max(1, steps_remaining) * self.backoff_cap

@@ -15,7 +15,7 @@ from collections.abc import Iterable
 
 from .topology import Channel, TreeTopology
 
-__all__ = ["MessagePhase", "route_phase"]
+__all__ = ["MessagePhase", "remap_leaves", "route_phase"]
 
 
 @dataclass
@@ -33,6 +33,19 @@ class MessagePhase:
     def is_contention_free(self) -> bool:
         """No channel oversubscribed (at most ``capacity`` messages each)."""
         return self.contention <= 1.0
+
+
+def remap_leaves(
+    messages: Iterable[tuple[int, int]], host_of_leaf
+) -> list[tuple[int, int]]:
+    """Apply a degraded-mode host map to ``(src_leaf, dst_leaf)`` pairs.
+
+    After a crash, the dead leaf's work is rehosted on its sibling;
+    messages addressed to a remapped leaf terminate at its host.  Pairs
+    that collapse onto one physical leaf become local (and are then
+    skipped by :func:`route_phase`).
+    """
+    return [(int(host_of_leaf[s]), int(host_of_leaf[d])) for s, d in messages]
 
 
 def route_phase(

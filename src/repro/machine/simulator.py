@@ -17,6 +17,14 @@ each slot holds a ``b``-column block, a met pair solves a local
 solver (bit-compatible with :func:`repro.blockjacobi.block_jacobi_svd`),
 every message carries ``b`` columns, and the step records charge the
 block work to the cost model.
+
+With a :class:`~repro.faults.injector.FaultInjector` installed (via
+:meth:`TreeMachine.install_faults`), every inter-leaf move additionally
+goes through the ack/seq :class:`~repro.faults.transport.AckTransport`,
+crash/stall faults fire at step boundaries, and a degraded host map
+(``host_of_leaf``) reroutes a dead leaf's traffic and compute onto its
+sibling.  With no injector, every code path is identical to the
+fault-free machine — bit-for-bit and charge-for-charge.
 """
 
 from __future__ import annotations
@@ -54,6 +62,12 @@ class TreeMachine:
         self.inner_sweeps: int = 2
         self.block_cols: list[np.ndarray] | None = None
         self._norms_sq: np.ndarray | None = None
+        # fault-mode state: injector + reliable transport, and the
+        # degraded host map (logical leaf -> physical leaf)
+        self.injector = None
+        self._transport = None
+        self.host_of_leaf = np.arange(topology.n_leaves, dtype=np.intp)
+        self.dead_leaves: set[int] = set()
 
     @property
     def n_slots(self) -> int:
@@ -93,6 +107,11 @@ class TreeMachine:
                     f"available: {', '.join(BLOCK_KERNELS)}")
         a = np.asarray(a, dtype=np.float64)
         require(a.ndim == 2, "matrix expected")
+        # a fresh load is a fresh machine: healthy host map, no faults
+        self.injector = None
+        self._transport = None
+        self.host_of_leaf = np.arange(self.topology.n_leaves, dtype=np.intp)
+        self.dead_leaves = set()
         self.block_size = block_size
         self.inner_sweeps = inner_sweeps
         require(a.shape[1] == self.n_columns,
@@ -114,18 +133,136 @@ class TreeMachine:
             # slot order (X/V stay the canonical storage between sweeps)
             self._norms_sq = column_norms_sq(self.X) if kernel == "batched" else None
 
+    # -- fault-mode hooks -------------------------------------------------
+
+    def install_faults(self, injector) -> None:
+        """Arm a :class:`~repro.faults.injector.FaultInjector`.
+
+        From now on inter-leaf moves are delivered through the ack/seq
+        transport and step boundaries consult the injector for crash
+        and stall faults.  Call after :meth:`load` (loading resets the
+        fault state).
+        """
+        from ..faults.transport import AckTransport
+
+        self.injector = injector
+        self._transport = AckTransport(self.cost, injector)
+
+    def _host(self, leaf: int) -> int:
+        """Physical leaf executing logical leaf ``leaf`` (identity when
+        healthy; the sibling after graceful degradation)."""
+        return int(self.host_of_leaf[leaf])
+
+    def require_finite(self) -> None:
+        """Sweep-boundary guardrail: raise
+        :class:`~repro.util.errors.NumericalBreakdown` at the first
+        non-finite entry of the distributed matrix."""
+        from ..util.errors import NumericalBreakdown
+
+        for name, mat in (("X", self.X), ("V", self.V)):
+            if mat is None:
+                continue
+            finite = np.isfinite(mat)
+            if not finite.all():
+                idx = tuple(int(i) for i in np.argwhere(~finite)[0])
+                raise NumericalBreakdown(
+                    f"non-finite entry in {name} at {idx} after sweep",
+                    where=idx)
+
+    def degrade_leaf(self, dead: int) -> tuple[int, list[int]]:
+        """Gracefully degrade: rehost leaf ``dead``'s slots on its
+        sibling ``dead ^ 1`` (the leaf sharing its lowest switch).
+
+        Leaves previously rehosted *onto* the dead leaf move with it.
+        Returns ``(new_host, remapped_logical_leaves)``; raises
+        :class:`~repro.faults.errors.UnrecoverableFault` when the
+        sibling (or its own host) is dead too — a buddy-pair double
+        crash leaves no level-1 host for the columns.
+        """
+        from ..faults.errors import UnrecoverableFault
+
+        self.dead_leaves.add(dead)
+        buddy = dead ^ 1
+        target = self._host(buddy)
+        if target == dead or target in self.dead_leaves:
+            raise UnrecoverableFault(
+                f"leaf {dead} and its sibling {buddy} are both dead; "
+                "no host remains for their columns")
+        moved = [lf for lf in range(self.topology.n_leaves)
+                 if self._host(lf) == dead]
+        for lf in moved:
+            self.host_of_leaf[lf] = target
+        return target, moved
+
+    def _fault_step_begin(self, sweep: int, k: int, mark) -> tuple[float, list]:
+        """Fire crash/stall faults scheduled at step ``k``.
+
+        Newly dead leaves have their resident slots NaN-marked through
+        ``mark(slots)`` (mode-specific storage), so even a crash no
+        message ever touches is caught by the non-finite sentinels.
+        Returns ``(stall_time, events)``.
+        """
+        from ..faults.events import FaultEvent
+
+        inj = self.injector
+        events: list = []
+        for leaf in inj.advance(sweep, k):
+            mark([2 * leaf, 2 * leaf + 1])
+            events.append(inj.record(FaultEvent(
+                "crash", "injected", sweep, k, leaf=leaf,
+                detail=f"leaf {leaf} crash-stopped; local columns lost")))
+        stall_t = 0.0
+        for leaf, duration in inj.stalls(sweep, k):
+            if leaf in inj.dead:
+                continue
+            # the step is synchronous: the slowest (stalled) leaf gates it
+            stall_t = max(stall_t, duration)
+            events.append(inj.record(FaultEvent(
+                "stall", "injected", sweep, k, leaf=leaf,
+                time_charged=duration,
+                detail=f"leaf {leaf} frozen for {duration:.0f}")))
+        return stall_t, events
+
+    def _fault_deliver(self, sweep: int, k: int, moves, words: int,
+                       corrupt_slot):
+        """Deliver a move phase through the transport under the current
+        host map.  Returns ``(phase, extra_time, retries, events)``;
+        silently corrupted payloads are damaged via
+        ``corrupt_slot(dst_slot, mode)`` after the move."""
+        pairs = [(self._host(leaf_of_slot(mv.src)),
+                  self._host(leaf_of_slot(mv.dst))) for mv in moves]
+        phase = route_phase(self.topology, pairs)
+        msgs = [(s, d, self.topology.comm_level(s, d))
+                for s, d in pairs if s != d]
+        outcome = self._transport.deliver_phase(sweep, k, msgs, words)
+        pending = list(outcome.silent)
+        for mv, (s, d) in zip(moves, pairs):
+            if not pending:
+                break
+            for i, (ps, pd, mode) in enumerate(pending):
+                if (s, d) == (ps, pd):
+                    corrupt_slot(mv.dst, mode)
+                    pending.pop(i)
+                    break
+        return phase, outcome.extra_time, outcome.retries, outcome.events
+
     def run_sweep(
         self,
         schedule: Schedule,
         tol: float = 1e-12,
         sort: str | None = "desc",
+        sweep_index: int = 0,
     ) -> tuple[SweepStats, RotationStats, float]:
         """Execute one sweep; returns (timing stats, rotation stats, worst
-        relative off-diagonal seen before rotating)."""
+        relative off-diagonal seen before rotating).
+
+        ``sweep_index`` locates the sweep for fault matching and event
+        records; it is ignored (and harmless) without an injector.
+        """
         require(self.X is not None, "load() a matrix first")
         require(schedule.n == self.n_slots, "schedule size != machine size")
         if self.block_size is not None:
-            return self._run_sweep_block(schedule, tol, sort)
+            return self._run_sweep_block(schedule, tol, sort, sweep_index)
         X, V, labels = self.X, self.V, self.labels
         m = X.shape[0]
         batched = self.kernel == "batched"
@@ -136,12 +273,34 @@ class TreeMachine:
             stack = np.vstack((X, V)) if V is not None else X
             WT = np.ascontiguousarray(stack.T)
             norms_sq = self._norms_sq
+        if self.injector is not None:
+            from ..faults.corruptions import corrupt_payload
+
+            if batched:
+                def mark(slots):
+                    WT[slots, :m] = np.nan
+                    if norms_sq is not None:
+                        norms_sq[slots] = np.nan
+
+                def corrupt_slot(slot, mode):
+                    corrupt_payload(WT[slot, :m], mode, self.injector.rng)
+            else:
+                def mark(slots):
+                    X[:, slots] = np.nan
+
+                def corrupt_slot(slot, mode):
+                    corrupt_payload(X[:, slot], mode, self.injector.rng)
         stats = SweepStats()
         rstats = RotationStats()
         worst = 0.0
         for k, step in enumerate(schedule.steps, start=1):
             rotations = 0
             compute_t = 0.0
+            retries = 0
+            fault_events: list = []
+            if self.injector is not None:
+                compute_t, fault_events = self._fault_step_begin(
+                    sweep_index, k, mark)
             if step.pairs:
                 a = np.fromiter((p[0] for p in step.pairs), dtype=np.intp)
                 b = np.fromiter((p[1] for p in step.pairs), dtype=np.intp)
@@ -165,9 +324,9 @@ class TreeMachine:
                 # performs exactly one rotation
                 per_leaf: dict[int, int] = {}
                 for pa, pb in step.pairs:
-                    leaf = leaf_of_slot(pa)
+                    leaf = self._host(leaf_of_slot(pa))
                     per_leaf[leaf] = per_leaf.get(leaf, 0) + 1
-                compute_t = self.cost.compute_time(max(per_leaf.values()), m)
+                compute_t += self.cost.compute_time(max(per_leaf.values()), m)
             comm_t = 0.0
             messages = 0
             max_level = 0
@@ -183,17 +342,24 @@ class TreeMachine:
                     if V is not None:
                         V[:, dst] = V[:, src]
                 labels[dst] = labels[src]
-                phase = route_phase(
-                    self.topology,
-                    ((leaf_of_slot(mv.src), leaf_of_slot(mv.dst)) for mv in step.moves),
-                )
-                messages = phase.n_messages
-                max_level = phase.max_level
-                contention = phase.contention
                 # a message carries one column of m words (plus its V row
                 # block when vectors are accumulated)
                 words = m + (X.shape[1] if V is not None else 0)
-                comm_t = self.cost.comm_time(phase, words)
+                if self.injector is None:
+                    phase = route_phase(
+                        self.topology,
+                        ((leaf_of_slot(mv.src), leaf_of_slot(mv.dst))
+                         for mv in step.moves),
+                    )
+                    extra = 0.0
+                else:
+                    phase, extra, retries, move_events = self._fault_deliver(
+                        sweep_index, k, step.moves, words, corrupt_slot)
+                    fault_events.extend(move_events)
+                messages = phase.n_messages
+                max_level = phase.max_level
+                contention = phase.contention
+                comm_t = self.cost.comm_time(phase, words) + extra
             stats.steps.append(
                 StepRecord(
                     step=k,
@@ -203,6 +369,8 @@ class TreeMachine:
                     contention=contention,
                     compute_time=compute_t,
                     comm_time=comm_t,
+                    retries=retries,
+                    fault_events=tuple(fault_events),
                 )
             )
         if batched:
@@ -216,6 +384,7 @@ class TreeMachine:
         schedule: Schedule,
         tol: float,
         sort: str | None,
+        sweep_index: int = 0,
     ) -> tuple[SweepStats, RotationStats, float]:
         """Block-granularity sweep: met pairs solve 2b-column subproblems,
         moves carry whole blocks, records charge block work."""
@@ -225,12 +394,31 @@ class TreeMachine:
         block_cols = self.block_cols
         b = self.block_size
         m = X.shape[0]
+        if self.injector is not None:
+            from ..faults.corruptions import corrupt_payload
+
+            def mark(slots):
+                for s in slots:
+                    X[:, block_cols[s]] = np.nan
+
+            def corrupt_slot(slot, mode):
+                # pick one column of the block: an integer index yields a
+                # writable view (a fancy-indexed block would be a copy and
+                # the damage would silently miss the matrix)
+                cols = block_cols[slot]
+                col = int(cols[int(self.injector.rng.integers(len(cols)))])
+                corrupt_payload(X[:, col], mode, self.injector.rng)
         stats = SweepStats()
         rstats = RotationStats()
         worst = 0.0
         for k, step in enumerate(schedule.steps, start=1):
             rotations = 0
             compute_t = 0.0
+            retries = 0
+            fault_events: list = []
+            if self.injector is not None:
+                compute_t, fault_events = self._fault_step_begin(
+                    sweep_index, k, mark)
             if step.pairs:
                 pair_cols = [
                     np.concatenate([block_cols[sa], block_cols[sb]])
@@ -244,9 +432,9 @@ class TreeMachine:
                 rotations = len(step.pairs)
                 per_leaf: dict[int, int] = {}
                 for pa, pb in step.pairs:
-                    leaf = leaf_of_slot(pa)
+                    leaf = self._host(leaf_of_slot(pa))
                     per_leaf[leaf] = per_leaf.get(leaf, 0) + 1
-                compute_t = self.cost.block_compute_time(
+                compute_t += self.cost.block_compute_time(
                     max(per_leaf.values()), m, b, self.inner_sweeps
                 )
             comm_t = 0.0
@@ -260,17 +448,24 @@ class TreeMachine:
                 src = np.fromiter((mv.src for mv in step.moves), dtype=np.intp)
                 dst = np.fromiter((mv.dst for mv in step.moves), dtype=np.intp)
                 labels[dst] = labels[src]
-                phase = route_phase(
-                    self.topology,
-                    ((leaf_of_slot(mv.src), leaf_of_slot(mv.dst)) for mv in step.moves),
-                )
-                messages = phase.n_messages
-                max_level = phase.max_level
-                contention = phase.contention
                 # a message carries one b-column block of b*m words (plus
                 # its V row block when vectors are accumulated)
                 words = b * (m + (X.shape[1] if V is not None else 0))
-                comm_t = self.cost.comm_time(phase, words)
+                if self.injector is None:
+                    phase = route_phase(
+                        self.topology,
+                        ((leaf_of_slot(mv.src), leaf_of_slot(mv.dst))
+                         for mv in step.moves),
+                    )
+                    extra = 0.0
+                else:
+                    phase, extra, retries, move_events = self._fault_deliver(
+                        sweep_index, k, step.moves, words, corrupt_slot)
+                    fault_events.extend(move_events)
+                messages = phase.n_messages
+                max_level = phase.max_level
+                contention = phase.contention
+                comm_t = self.cost.comm_time(phase, words) + extra
             stats.steps.append(
                 StepRecord(
                     step=k,
@@ -280,6 +475,8 @@ class TreeMachine:
                     contention=contention,
                     compute_time=compute_t,
                     comm_time=comm_t,
+                    retries=retries,
+                    fault_events=tuple(fault_events),
                 )
             )
         return stats, rstats, worst

@@ -3,13 +3,22 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.events import FaultEvent
 
 __all__ = ["StepRecord", "SweepStats"]
 
 
 @dataclass
 class StepRecord:
-    """Per-step timing and traffic."""
+    """Per-step timing and traffic.
+
+    ``retries`` and ``fault_events`` are populated only when a fault
+    plan is installed: retransmission attempts of the ack/seq transport
+    and the injection/recovery events that hit this step.
+    """
 
     step: int
     rotations: int
@@ -18,6 +27,8 @@ class StepRecord:
     contention: float
     compute_time: float
     comm_time: float
+    retries: int = 0
+    fault_events: tuple["FaultEvent", ...] = ()
 
 
 @dataclass
@@ -50,6 +61,16 @@ class SweepStats:
     def contention_free(self) -> bool:
         """True when no channel was ever oversubscribed (Section 5 claim)."""
         return self.max_contention <= 1.0
+
+    @property
+    def total_retries(self) -> int:
+        """Retransmission attempts charged across the sweep (fault mode)."""
+        return sum(s.retries for s in self.steps)
+
+    @property
+    def fault_events(self) -> list["FaultEvent"]:
+        """All fault/recovery events of the sweep, in step order."""
+        return [ev for s in self.steps for ev in s.fault_events]
 
     def level_histogram(self) -> dict[int, int]:
         hist: dict[int, int] = {}

@@ -15,7 +15,13 @@ from dataclasses import dataclass
 from ..util.formatting import render_table
 from .stats import SweepStats
 
-__all__ = ["UtilizationSummary", "utilization", "render_timeline", "render_gantt"]
+__all__ = [
+    "UtilizationSummary",
+    "utilization",
+    "render_timeline",
+    "render_gantt",
+    "render_fault_log",
+]
 
 
 @dataclass(frozen=True)
@@ -98,3 +104,42 @@ def render_gantt(stats: SweepStats, width: int = 60) -> str:
         lines.append(f"{s.step:>4} |{'#' * c}{'~' * m}")
     lines.append(f"{'':>4}  # compute   ~ communication   scale: {longest:.1f} time units")
     return "\n".join(lines)
+
+
+def render_fault_log(events, max_rows: int | None = 40) -> str:
+    """Tabulate fault/recovery events (see :mod:`repro.faults.events`).
+
+    One row per event, in firing order: where it struck, what the
+    machine did about it, and the simulated time the reaction cost.
+    """
+    events = list(events)
+    if not events:
+        return "(no fault events)"
+    shown = events if max_rows is None else events[:max_rows]
+    rows = []
+    for ev in shown:
+        if ev.src is not None and ev.dst is not None:
+            site = f"{ev.src}->{ev.dst}"
+        elif ev.leaf is not None:
+            site = f"leaf {ev.leaf}"
+        elif ev.level is not None:
+            site = f"level {ev.level}"
+        else:
+            site = "-"
+        rows.append([
+            ev.sweep,
+            ev.step,
+            ev.kind,
+            ev.action,
+            site,
+            f"{ev.time_charged:.1f}",
+            ev.detail,
+        ])
+    table = render_table(
+        ["sweep", "step", "kind", "action", "site", "charged", "detail"],
+        rows,
+        title="fault log",
+    )
+    if max_rows is not None and len(events) > max_rows:
+        table += f"\n... ({len(events) - max_rows} more events)"
+    return table

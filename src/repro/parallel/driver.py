@@ -17,6 +17,7 @@ counterpart of :func:`repro.blockjacobi.block_jacobi_svd`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -31,6 +32,7 @@ from ..orderings.base import Ordering
 from ..orderings.registry import make_ordering
 from ..svd.convergence import off_norm
 from ..svd.hestenes import JacobiOptions
+from ..util.errors import ConvergenceWarning
 from ..util.validation import require
 
 __all__ = ["ParallelJacobiSVD", "ParallelRunReport"]
@@ -38,13 +40,20 @@ __all__ = ["ParallelJacobiSVD", "ParallelRunReport"]
 
 @dataclass
 class ParallelRunReport:
-    """Execution telemetry of a parallel run."""
+    """Execution telemetry of a parallel run.
+
+    ``recovery_time`` aggregates everything fault handling cost on top
+    of the fault-free timeline: checkpoints, rollbacks and remaps (the
+    transport's per-message retries/backoffs are already inside the
+    step records' comm time).
+    """
 
     sweep_stats: list[SweepStats] = field(default_factory=list)
 
     @property
     def total_time(self) -> float:
-        return sum(s.total_time for s in self.sweep_stats) + self.reduction_time
+        return (sum(s.total_time for s in self.sweep_stats)
+                + self.reduction_time + self.recovery_time)
 
     @property
     def compute_time(self) -> float:
@@ -62,8 +71,17 @@ class ParallelRunReport:
     def contention_free(self) -> bool:
         return all(s.contention_free for s in self.sweep_stats)
 
+    @property
+    def total_retries(self) -> int:
+        """Transport retransmission attempts across the whole run."""
+        return sum(s.total_retries for s in self.sweep_stats)
+
     # one allreduce (up + down the tree) per sweep for the convergence flag
     reduction_time: float = 0.0
+    # checkpoint/rollback/remap overhead of fault recovery
+    recovery_time: float = 0.0
+    # sweeps that were rolled back and retried
+    rollbacks: int = 0
 
 
 class ParallelJacobiSVD:
@@ -113,9 +131,20 @@ class ParallelJacobiSVD:
         return TreeMachine(topo, self.cost_model), ordering
 
     def compute(
-        self, a: np.ndarray, compute_uv: bool = True
+        self, a: np.ndarray, compute_uv: bool = True,
+        fault_plan=None,
     ) -> tuple[SVDResult, ParallelRunReport]:
-        """Run the distributed SVD; returns (decomposition, telemetry)."""
+        """Run the distributed SVD; returns (decomposition, telemetry).
+
+        With a :class:`~repro.faults.FaultPlan` the run executes under
+        fault injection: a checkpoint is taken at every sweep boundary,
+        the ack/seq transport recovers message faults, detected damage
+        (non-finite sentinels, crashed leaves) rolls the sweep back —
+        remapping dead leaves onto their siblings — and an exhausted
+        recovery budget yields an *explicit* failed result
+        (``converged=False`` plus an ``unrecoverable`` fault event),
+        never silently wrong output.
+        """
         a = np.asarray(a, dtype=np.float64)
         m, n = a.shape
         # n > m is allowed for zero-padded inputs (at most m nonzero sigma)
@@ -128,9 +157,18 @@ class ParallelJacobiSVD:
                          inner_sweeps=opts.inner_sweeps)
         else:
             machine.load(a, compute_v=compute_uv, kernel=opts.kernel)
+        injector = None
+        watchdog = None
+        if fault_plan is not None:
+            from ..faults import ConvergenceWatchdog, FaultInjector
+
+            injector = FaultInjector(fault_plan, machine.topology.n_leaves)
+            machine.install_faults(injector)
+            watchdog = ConvergenceWatchdog()
         report = ParallelRunReport()
         history: list[SweepRecord] = []
         converged = False
+        failed = False
         sweeps = 0
         allreduce = (
             self.cost_model.alpha
@@ -138,26 +176,55 @@ class ParallelJacobiSVD:
         )
         for sweep in range(opts.max_sweeps):
             sched = ordering.sweep(sweep)
-            sweep_stats, rstats, worst = machine.run_sweep(
-                sched, tol=opts.tol, sort=opts.sort
-            )
+            if injector is None:
+                sweep_stats, rstats, worst = machine.run_sweep(
+                    sched, tol=opts.tol, sort=opts.sort, sweep_index=sweep
+                )
+            else:
+                outcome = self._run_sweep_recovered(
+                    machine, sched, sweep, opts, injector, report)
+                if outcome is None:
+                    # recovery budget exhausted; machine state is the
+                    # last checkpoint — fail explicitly below
+                    failed = True
+                    sweeps = sweep + 1
+                    break
+                sweep_stats, rstats, worst = outcome
             report.sweep_stats.append(sweep_stats)
             report.reduction_time += allreduce
             sweeps = sweep + 1
+            sweep_off = off_norm(machine.X)
             history.append(
                 SweepRecord(
                     sweep=sweeps,
-                    off_norm=off_norm(machine.X),
+                    off_norm=sweep_off,
                     max_rel_gamma=worst,
                     rotations=rstats.applied,
                     skipped=rstats.skipped,
                 )
             )
+            if watchdog is not None:
+                stall = watchdog.observe(sweeps, sweep_off)
+                if stall is not None:
+                    from ..faults import FaultEvent
+
+                    injector.record(FaultEvent(
+                        "recovery", "watchdog", sweep, 0, detail=stall))
             # block mode matches the serial block driver: the local
             # solver leaves every met pair sorted, so no exchange check
             if worst <= opts.tol and (block or rstats.exchanged == 0):
                 converged = True
                 break
+        if not converged and watchdog is not None:
+            watchdog.escalate(opts.max_sweeps)
+        if not converged:
+            reason = ("fault recovery exhausted" if failed
+                      else f"sweep budget ({opts.max_sweeps}) exhausted")
+            warnings.warn(
+                f"parallel Jacobi SVD did not converge: {reason}; "
+                "the result is a partial decomposition "
+                "(check result.converged)",
+                ConvergenceWarning, stacklevel=2)
 
         X = machine.X
         V = machine.V
@@ -195,5 +262,117 @@ class ParallelJacobiSVD:
             sigma_by_slot=sigma_by_slot,
             emerged_sorted=emerged,
             history=history,
+            fault_events=list(injector.log) if injector is not None else [],
+            watchdog=watchdog.message if watchdog is not None else None,
         )
         return result, report
+
+    def _run_sweep_recovered(
+        self,
+        machine: TreeMachine,
+        sched,
+        sweep: int,
+        opts,
+        injector,
+        report: ParallelRunReport,
+    ):
+        """One sweep under fault injection: checkpoint, run, recover.
+
+        The sweep is retried from its boundary checkpoint up to
+        ``plan.max_sweep_attempts`` times.  Detected damage — a kernel's
+        non-finite sentinel, the sweep-end finiteness heartbeat, or a
+        transport-reported dead leaf — triggers rollback; leaves the
+        injector killed are then remapped onto their siblings (graceful
+        degradation) and the degraded schedule re-validated.  Returns
+        ``(stats, rstats, worst)``, or ``None`` when recovery is
+        exhausted (machine state is left at the checkpoint).
+        """
+        from ..faults import (
+            FaultEvent,
+            LeafFailure,
+            UnrecoverableFault,
+            restore_checkpoint,
+            take_checkpoint,
+        )
+        from ..util.errors import NumericalBreakdown
+
+        cost = machine.cost
+        cp = take_checkpoint(machine)
+        report.recovery_time += cost.checkpoint_time(cp.words)
+        # the sweep only right-multiplies X by orthogonal rotations, so
+        # ||X||_F is an invariant; measurable drift means a finite payload
+        # corruption (scale/zero) slipped past the finiteness sentinels
+        ref_norm = float(np.linalg.norm(cp.X))
+        last_error: Exception | None = None
+        for attempt in range(injector.max_sweep_attempts):
+            try:
+                stats, rstats, worst = machine.run_sweep(
+                    sched, tol=opts.tol, sort=opts.sort, sweep_index=sweep)
+                # sweep-end heartbeat: catches silent corruption (and
+                # crashes) that no kernel sentinel met mid-sweep
+                machine.require_finite()
+                drift = abs(float(np.linalg.norm(machine.X)) - ref_norm)
+                if drift > 1e-9 * max(ref_norm, 1.0):
+                    raise NumericalBreakdown(
+                        f"||X||_F drifted by {drift:.3e} over sweep {sweep} "
+                        "(orthogonal invariant violated: silent payload "
+                        "corruption)")
+                return stats, rstats, worst
+            except (NumericalBreakdown, LeafFailure) as exc:
+                last_error = exc
+                restore_checkpoint(machine, cp)
+                rb = cost.rollback_time(cp.words)
+                report.recovery_time += rb
+                report.rollbacks += 1
+                injector.record(FaultEvent(
+                    "recovery", "rollback", sweep, 0, attempt=attempt,
+                    time_charged=rb, detail=str(exc)))
+                try:
+                    self._degrade_dead_leaves(
+                        machine, sched, sweep, injector, report)
+                except UnrecoverableFault as exc2:
+                    injector.record(FaultEvent(
+                        "recovery", "unrecoverable", sweep, 0,
+                        attempt=attempt, detail=str(exc2)))
+                    return None
+            except UnrecoverableFault as exc:
+                restore_checkpoint(machine, cp)
+                report.recovery_time += cost.rollback_time(cp.words)
+                injector.record(FaultEvent(
+                    "recovery", "unrecoverable", sweep, 0, detail=str(exc)))
+                return None
+        injector.record(FaultEvent(
+            "recovery", "unrecoverable", sweep, 0,
+            attempt=injector.max_sweep_attempts,
+            detail=f"sweep still failing after "
+                   f"{injector.max_sweep_attempts} attempts: {last_error}"))
+        return None
+
+    def _degrade_dead_leaves(
+        self, machine: TreeMachine, sched, sweep: int, injector, report,
+    ) -> None:
+        """Remap every injector-dead leaf not yet degraded onto its
+        sibling, charging and logging each remap, then re-validate the
+        schedule for the degraded host map."""
+        from ..faults import FaultEvent, validate_degraded
+
+        pending = sorted(injector.dead - machine.dead_leaves)
+        if not pending:
+            return
+        m = machine.X.shape[0]
+        ncols = machine.X.shape[1]
+        b = machine.block_size or 1
+        # a leaf hosts two slots of b columns each (plus their V rows)
+        words = 2 * b * (m + (ncols if machine.V is not None else 0))
+        for leaf in pending:
+            host, moved = machine.degrade_leaf(leaf)
+            rt = machine.cost.remap_time(words)
+            report.recovery_time += rt
+            injector.record(FaultEvent(
+                "crash", "remap", sweep, 0, leaf=leaf, time_charged=rt,
+                detail=f"leaf {leaf} rehosted on leaf {host} "
+                       f"(logical leaves {moved})"))
+        degraded = validate_degraded(machine, sched)
+        injector.record(FaultEvent(
+            "recovery", "remap", sweep, 0,
+            detail=degraded.describe()))

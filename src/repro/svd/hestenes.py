@@ -18,6 +18,7 @@ against.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,6 +26,7 @@ import numpy as np
 from ..core.result import SVDResult, SweepRecord
 from ..orderings.base import Ordering
 from ..orderings.registry import make_ordering
+from ..util.errors import ConvergenceWarning
 from ..util.validation import require
 from .convergence import off_norm
 from .rotations import (
@@ -335,6 +337,21 @@ def jacobi_svd(
     # apply the rotations; X becomes H = A V (up to the prescale factor)
     history, converged, sweeps = hestenes_sweeps(X, V, ordering_obj, opts)
 
+    watchdog_msg = None
+    if not converged:
+        # run the stall detector over the recorded off-norm series so the
+        # result says *why* the budget ran out, then refuse to be silent
+        from ..faults.watchdog import ConvergenceWatchdog
+
+        dog = ConvergenceWatchdog()
+        for h in history:
+            dog.observe(h.sweep, h.off_norm)
+        watchdog_msg = dog.escalate(opts.max_sweeps)
+        warnings.warn(
+            f"Jacobi SVD did not converge: {watchdog_msg}; the result is "
+            "a partial decomposition (check result.converged)",
+            ConvergenceWarning, stacklevel=2)
+
     # norms are computed on the scaled data (no overflow) and the scale
     # factor re-applied on sigma only; U is scale-invariant
     norms = np.linalg.norm(X, axis=0) * prescale
@@ -376,4 +393,5 @@ def jacobi_svd(
         sigma_by_slot=sigma_by_slot,
         emerged_sorted=emerged,
         history=history,
+        watchdog=watchdog_msg,
     )

@@ -29,6 +29,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..util.errors import NumericalBreakdown
+
 __all__ = [
     "RotationStats",
     "rotation_params",
@@ -66,18 +68,45 @@ class RotationStats:
     ``exchanged`` counts already-orthogonal pairs whose columns were
     exchanged to respect the norm ordering.  The paper's termination rule
     needs ``exchanged`` ("... and no columns are interchanged").
+    ``fallbacks`` counts block pairs re-solved down the kernel fallback
+    chain (gram -> batched -> reference) after a numerical breakdown.
     """
 
     applied: int = 0
     skipped: int = 0
     swapped: int = 0
     exchanged: int = 0
+    fallbacks: int = 0
 
     def merge(self, other: "RotationStats") -> None:
         self.applied += other.applied
         self.skipped += other.skipped
         self.swapped += other.swapped
         self.exchanged += other.exchanged
+        self.fallbacks += other.fallbacks
+
+
+def _require_finite_grams(
+    alpha: np.ndarray, beta: np.ndarray, gamma: np.ndarray,
+    left: np.ndarray, right: np.ndarray,
+) -> None:
+    """Non-finite sentinel shared by the rotation kernels.
+
+    A NaN/Inf Gram quantity means the column data itself is damaged
+    (silent message corruption, a crashed leaf's NaN-marked slots, or a
+    genuine overflow); rotating through it would smear the damage over
+    every column the pair later meets.  Fail here instead, naming the
+    pair, so a recovery driver can roll back to the sweep checkpoint.
+    """
+    bad = ~(np.isfinite(alpha) & np.isfinite(beta) & np.isfinite(gamma))
+    if np.any(bad):
+        k0 = int(np.argmax(bad))
+        where = (int(left[k0]), int(right[k0]))
+        raise NumericalBreakdown(
+            f"non-finite Gram quantities for column pair {where} "
+            f"(alpha={alpha[k0]!r}, beta={beta[k0]!r}, gamma={gamma[k0]!r})",
+            where=where,
+        )
 
 
 def rotation_params(
@@ -131,6 +160,7 @@ def apply_step_rotations(
     alpha = np.einsum("ij,ij->j", x, x)
     beta = np.einsum("ij,ij->j", y, y)
     gamma = np.einsum("ij,ij->j", x, y)
+    _require_finite_grams(alpha, beta, gamma, left, right)
     denom = np.sqrt(alpha * beta)
     live = denom > 0.0
     rel = np.zeros_like(gamma)
@@ -259,6 +289,7 @@ def apply_step_rotations_batched(
     ab = norms_sq[P]  # (k, 2) cached alpha, beta
     alpha = ab[:, 0]
     beta = ab[:, 1]
+    _require_finite_grams(alpha, beta, gamma, P[:, 0], P[:, 1])
     denom = np.sqrt(alpha * beta)
     rel = np.abs(gamma) / np.maximum(denom, _TINY)
     max_rel = float(rel.max(initial=0.0))

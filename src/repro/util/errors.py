@@ -1,0 +1,36 @@
+"""Shared error and warning types for numerical guardrails.
+
+These live at the bottom of the layering (``repro.util``) because both
+the rotation kernels (:mod:`repro.svd.rotations`,
+:mod:`repro.blockjacobi.kernel`) and the fault-recovery subsystem
+(:mod:`repro.faults`) need them without importing each other.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NumericalBreakdown", "ConvergenceWarning"]
+
+
+class NumericalBreakdown(ArithmeticError):
+    """A kernel observed non-finite quantities (NaN/Inf) mid-iteration.
+
+    Raised by the rotation/batched/gram kernels the moment a Gram
+    quantity stops being finite, so corrupted data can never be silently
+    rotated into the result.  Under a fault-recovery driver this is the
+    signal to roll back to the last sweep checkpoint; without one it
+    surfaces to the caller instead of returning garbage.
+    """
+
+    def __init__(self, message: str, where: tuple[int, ...] | None = None):
+        super().__init__(message)
+        #: coordinate of the first offending entry, when known
+        self.where = where
+
+
+class ConvergenceWarning(UserWarning):
+    """The sweep loop exhausted ``max_sweeps`` without converging.
+
+    The result is still returned (with ``converged=False``) so callers
+    can inspect the partial decomposition, but silent acceptance of a
+    non-converged factorization is a bug farm — hence the warning.
+    """

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from .bits import is_power_of_two
 
-__all__ = ["require", "require_even", "require_power_of_two", "require_range"]
+__all__ = ["require", "require_even", "require_finite",
+           "require_power_of_two", "require_range"]
 
 
 def require(cond: bool, message: str) -> None:
@@ -29,3 +32,20 @@ def require_power_of_two(n: int, what: str = "n", minimum: int = 1) -> None:
 def require_range(x: int, lo: int, hi: int, what: str = "value") -> None:
     """Require ``lo <= x <= hi``."""
     require(lo <= x <= hi, f"{what} must be in [{lo}, {hi}], got {x!r}")
+
+
+def require_finite(a: np.ndarray, what: str = "a") -> None:
+    """Require every entry of ``a`` to be finite (no NaN/Inf).
+
+    The error names the first offending coordinate, so a caller feeding
+    a matrix with one bad entry learns *where* it is instead of getting
+    garbage singular values back.
+    """
+    finite = np.isfinite(a)
+    if finite.all():
+        return
+    idx = tuple(int(i) for i in np.argwhere(~finite)[0])
+    raise ValueError(
+        f"{what} contains non-finite value {a[idx]!r} at index {idx}; "
+        "the Jacobi iteration requires finite input"
+    )

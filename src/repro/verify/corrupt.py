@@ -17,13 +17,19 @@ operator            rule the linter must fire
 Some corruptions are unrepresentable through the validating
 constructors (``Step`` rejects non-permutation moves at build time),
 which is exactly the scenario the verifier exists for: input that did
-*not* come through our constructors.  :func:`unchecked_step` and
-:func:`unchecked_schedule` bypass ``__post_init__`` validation to
-build such objects.
+*not* come through our constructors.  The unchecked builders — shared
+with the chaos-injection side in :mod:`repro.faults.corruptions` so
+negative-test corruption and fault injection cannot drift apart — are
+re-exported here for backwards compatibility.
 """
 
 from __future__ import annotations
 
+from ..faults.corruptions import (
+    first_remote_move,
+    unchecked_schedule,
+    unchecked_step,
+)
 from ..orderings.schedule import Move, Schedule, Step
 from ..util.validation import require
 
@@ -35,29 +41,6 @@ __all__ = [
     "reverse_ring_step",
     "overload_link",
 ]
-
-
-def unchecked_step(
-    pairs: tuple[tuple[int, int], ...], moves: tuple[Move, ...] = ()
-) -> Step:
-    """Build a :class:`Step` without running its validation."""
-    step = object.__new__(Step)
-    object.__setattr__(step, "pairs", tuple(pairs))
-    object.__setattr__(step, "moves", tuple(moves))
-    return step
-
-
-def unchecked_schedule(
-    n: int, steps: list[Step], name: str,
-    notes: dict[str, object] | None = None,
-) -> Schedule:
-    """Build a :class:`Schedule` without running its validation."""
-    sched = object.__new__(Schedule)
-    sched.n = n
-    sched.steps = list(steps)
-    sched.name = name
-    sched.notes = dict(notes) if notes else {}
-    return sched
 
 
 def duplicate_pair(schedule: Schedule) -> Schedule:
@@ -85,16 +68,19 @@ def drop_exchange(schedule: Schedule) -> Schedule:
     unchecked, exactly like a schedule deserialized from an external
     (buggy) scheduler would arrive.
     """
-    for k, step in enumerate(schedule.steps):
-        remote = [m for m in step.moves if not m.is_local]
-        if remote:
-            kept = tuple(m for m in step.moves if m is not remote[0])
-            broken = unchecked_step(step.pairs, kept)
-            steps = [*schedule.steps[:k], broken, *schedule.steps[k + 1:]]
-            return unchecked_schedule(schedule.n, steps,
-                                      f"{schedule.name}+drop_exchange",
-                                      notes=schedule.notes)
-    raise ValueError(f"{schedule.name} has no inter-leaf move to drop")
+    try:
+        step_no, victim = first_remote_move(schedule)
+    except ValueError:
+        raise ValueError(
+            f"{schedule.name} has no inter-leaf move to drop") from None
+    k = step_no - 1
+    step = schedule.steps[k]
+    kept = tuple(m for m in step.moves if m is not victim)
+    broken = unchecked_step(step.pairs, kept)
+    steps = [*schedule.steps[:k], broken, *schedule.steps[k + 1:]]
+    return unchecked_schedule(schedule.n, steps,
+                              f"{schedule.name}+drop_exchange",
+                              notes=schedule.notes)
 
 
 def reverse_ring_step(schedule: Schedule) -> Schedule:
@@ -105,17 +91,21 @@ def reverse_ring_step(schedule: Schedule) -> Schedule:
     opposite ring direction — the one-directionality of Section 4 is
     broken while all local validation still passes.
     """
-    for k, step in enumerate(schedule.steps):
-        if any(not m.is_local for m in step.moves):
-            flipped = tuple(Move(m.dst, m.src) for m in step.moves)
-            steps = [*schedule.steps[:k],
-                     Step(pairs=step.pairs, moves=flipped),
-                     *schedule.steps[k + 1:]]
-            out = Schedule(n=schedule.n, steps=steps,
-                           name=f"{schedule.name}+reverse_ring_step")
-            out.notes.update(schedule.notes)
-            return out
-    raise ValueError(f"{schedule.name} has no communicating step to reverse")
+    try:
+        step_no, _ = first_remote_move(schedule)
+    except ValueError:
+        raise ValueError(
+            f"{schedule.name} has no communicating step to reverse") from None
+    k = step_no - 1
+    step = schedule.steps[k]
+    flipped = tuple(Move(m.dst, m.src) for m in step.moves)
+    steps = [*schedule.steps[:k],
+             Step(pairs=step.pairs, moves=flipped),
+             *schedule.steps[k + 1:]]
+    out = Schedule(n=schedule.n, steps=steps,
+                   name=f"{schedule.name}+reverse_ring_step")
+    out.notes.update(schedule.notes)
+    return out
 
 
 def overload_link(schedule: Schedule) -> Schedule:

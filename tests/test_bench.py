@@ -54,9 +54,9 @@ class TestTiming:
 
 
 class TestScenarios:
-    def test_full_list_has_fourteen_quick_has_eight(self):
-        assert len(default_scenarios(quick=False)) == 14
-        assert len(default_scenarios(quick=True)) == 8
+    def test_full_list_has_fifteen_quick_has_nine(self):
+        assert len(default_scenarios(quick=False)) == 15
+        assert len(default_scenarios(quick=True)) == 9
 
     def test_names_unique_and_stable(self):
         full = scenario_names(quick=False)
@@ -65,6 +65,7 @@ class TestScenarios:
         assert "block/gram/ring_new/n128b8" in full
         assert "block/reference/ring_new/n128b8" in full
         assert "parallel/hybrid/cm5/n64b4" in full
+        assert "faults/recovery-overhead/n16" in full
         assert "lint/registry" in full
 
     def test_fast_scenarios_declare_their_baseline(self):
@@ -102,6 +103,16 @@ class TestScenarios:
             assert rec["meta"]["sweeps"] >= 1
         else:
             assert rec["meta"]["clean"] is True
+
+    def test_run_faults_recovery_scenario(self):
+        by_name = {s.name: s for s in default_scenarios(quick=True)}
+        rec = run_scenario(by_name["faults/recovery-overhead/n8"],
+                           repeats=1, warmup=0)
+        assert rec["kind"] == "faults-recovery"
+        assert rec["wall_time_s"] > 0
+        assert rec["meta"]["converged"] is True
+        assert rec["meta"]["fault_events"] > 0
+        assert rec["meta"]["model_overhead"] > 1.0
 
     def test_run_block_parallel_scenario(self):
         by_name = {s.name: s for s in default_scenarios(quick=False)}

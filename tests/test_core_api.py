@@ -107,3 +107,58 @@ class TestResultObject:
         import repro
 
         assert repro.__version__
+
+
+class TestInputValidation:
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_svd_rejects_non_finite_input(self, rng, bad):
+        a = rng.standard_normal((12, 8))
+        a[3, 5] = bad
+        with pytest.raises(ValueError, match=r"\(3, 5\)"):
+            svd(a)
+
+    def test_parallel_svd_rejects_non_finite_input(self, rng):
+        a = rng.standard_normal((12, 8))
+        a[0, 0] = np.nan
+        with pytest.raises(ValueError, match=r"\(0, 0\)"):
+            parallel_svd(a)
+
+    def test_error_names_the_offending_coordinate(self, rng):
+        a = rng.standard_normal((12, 8))
+        a[7, 2] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            svd(a)
+
+
+class TestConvergenceSurfacing:
+    def test_non_convergence_warns_and_flags(self, rng):
+        from repro import ConvergenceWarning
+
+        a = rng.standard_normal((20, 16))
+        with pytest.warns(ConvergenceWarning):
+            r = svd(a, options=JacobiOptions(max_sweeps=1))
+        assert not r.converged
+        assert r.sweeps_used == 1
+        assert r.watchdog is not None
+        assert "NOT converged" in r.summary()
+
+    def test_block_driver_warns_too(self, rng):
+        from repro import BlockJacobiOptions, ConvergenceWarning
+
+        a = rng.standard_normal((20, 16))
+        with pytest.warns(ConvergenceWarning):
+            r = svd(a, options=BlockJacobiOptions(block_size=2, max_sweeps=1))
+        assert not r.converged
+
+    def test_converged_run_is_quiet(self, rng):
+        import warnings
+
+        from repro import ConvergenceWarning
+
+        a = rng.standard_normal((20, 16))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ConvergenceWarning)
+            r = svd(a)
+        assert r.converged
+        assert r.watchdog is None
+        assert r.fault_summary() == {}

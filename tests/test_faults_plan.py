@@ -1,0 +1,213 @@
+"""Unit tests of the fault-injection layer: plan DSL, injector
+bookkeeping, ack/seq transport arithmetic, and corruption operators."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    LeafFailure,
+    UnrecoverableFault,
+)
+from repro.faults.corruptions import (
+    PAYLOAD_MODES,
+    corrupt_payload,
+    first_remote_move,
+    remote_moves,
+)
+from repro.faults.plan import FAULT_KINDS, Fault
+from repro.faults.transport import AckTransport
+from repro.machine.costmodel import CostModel
+from repro.orderings import make_ordering
+
+
+class TestFaultPlanDSL:
+    def test_builders_cover_every_kind(self):
+        plan = (FaultPlan()
+                .drop(sweep=0, step=1, src=0, dst=1)
+                .duplicate(sweep=0, step=1, src=0, dst=1)
+                .delay(sweep=0, step=1, src=0, dst=1, duration=50.0)
+                .corrupt(sweep=0, step=1, src=0, dst=1, mode="nan")
+                .corrupt(sweep=0, step=1, src=0, dst=1, mode="nan", silent=True)
+                .stall(leaf=0, sweep=0, step=1, duration=100.0)
+                .crash(leaf=1, sweep=0, step=2)
+                .outage(level=1, sweep=0, step=1, until_step=2))
+        assert sorted({f.kind for f in plan.faults}) == sorted(FAULT_KINDS)
+
+    def test_plan_is_immutable_and_fluent(self):
+        base = FaultPlan()
+        extended = base.drop(sweep=0, step=1, src=0, dst=1)
+        assert base.faults == ()
+        assert len(extended.faults) == 1
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Fault("gremlin", sweep=0, step=1)
+
+    def test_bad_payload_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Fault("corrupt", sweep=0, step=1, mode="sparkle")
+
+    def test_message_matching_honours_wildcards(self):
+        f = Fault("drop", sweep=0, step=None, src=None, dst=3)
+        assert f.matches_message(0, 5, 1, 3)
+        assert not f.matches_message(1, 5, 1, 3)  # wrong sweep
+        assert not f.matches_message(0, 5, 1, 2)  # wrong dst
+
+    def test_outage_covers_higher_levels_and_window(self):
+        f = Fault("outage", sweep=0, step=2, until_step=4, level=2)
+        assert f.outage_covers(0, 3, 2)
+        assert f.outage_covers(0, 3, 3)  # higher level uses the same spine
+        assert not f.outage_covers(0, 3, 1)
+        assert not f.outage_covers(0, 5, 2)  # past the window
+        assert not f.outage_covers(1, 3, 2)  # wrong sweep
+
+
+class TestFaultInjector:
+    def test_leaf_range_validated(self):
+        plan = FaultPlan().crash(leaf=9, sweep=0, step=1)
+        with pytest.raises(ValueError):
+            FaultInjector(plan, n_leaves=4)
+
+    def test_crash_fires_once_and_persists(self):
+        plan = FaultPlan().crash(leaf=1, sweep=0, step=2)
+        inj = FaultInjector(plan, n_leaves=4)
+        assert inj.advance(0, 1) == []
+        assert inj.advance(0, 2) == [1]
+        assert inj.advance(0, 2) == []  # fires spent
+        assert inj.dead == {1}
+
+    def test_message_fault_consumes_per_attempt(self):
+        plan = FaultPlan().drop(sweep=0, step=1, src=0, dst=1, fires=2)
+        inj = FaultInjector(plan, n_leaves=4)
+        assert inj.message_fault(0, 1, 0, 1) is not None
+        assert inj.message_fault(0, 1, 0, 1) is not None
+        assert inj.message_fault(0, 1, 0, 1) is None
+        assert inj.pending() == 0
+
+    def test_outage_not_consumed_until_cleared(self):
+        plan = FaultPlan().outage(level=1, sweep=0, step=1, until_step=3)
+        inj = FaultInjector(plan, n_leaves=4)
+        f = inj.outage_fault(0, 1, 1)
+        assert f is not None
+        assert inj.outage_fault(0, 2, 2) is f  # still armed
+        inj.clear(f)
+        assert inj.outage_fault(0, 2, 1) is None
+
+    def test_stalls_consumed(self):
+        plan = FaultPlan().stall(leaf=2, sweep=0, step=1, duration=75.0)
+        inj = FaultInjector(plan, n_leaves=4)
+        assert inj.stalls(0, 1) == [(2, 75.0)]
+        assert inj.stalls(0, 1) == []
+
+    def test_seed_reproducible_rng(self):
+        plan = FaultPlan(seed=42).drop(sweep=0, step=1, src=0, dst=1)
+        a = FaultInjector(plan, 4).rng.integers(1 << 30)
+        b = FaultInjector(plan, 4).rng.integers(1 << 30)
+        assert a == b
+
+
+class TestAckTransport:
+    def _transport(self, plan):
+        cost = CostModel()
+        inj = FaultInjector(plan, n_leaves=4)
+        return AckTransport(cost, inj), inj, cost
+
+    def test_clean_phase_charges_only_ack(self):
+        t, inj, cost = self._transport(FaultPlan())
+        out = t.deliver_phase(0, 1, [(0, 1, 1), (2, 3, 1)], words=8)
+        assert out.retries == 0
+        assert out.events == []
+        assert out.extra_time == pytest.approx(cost.ack_time(2))
+
+    def test_drop_retransmits_with_exponential_backoff(self):
+        plan = FaultPlan().drop(sweep=0, step=1, src=0, dst=1, fires=2)
+        t, inj, cost = self._transport(plan)
+        out = t.deliver_phase(0, 1, [(0, 1, 1)], words=8)
+        assert out.retries == 2
+        expected = (cost.backoff_time(0) + cost.backoff_time(1)
+                    + 2 * cost.retransmit_time(8, 1) + cost.ack_time(1))
+        assert out.extra_time == pytest.approx(expected)
+
+    def test_backoff_is_capped(self):
+        cost = CostModel()
+        assert cost.backoff_time(50) == cost.backoff_cap
+
+    def test_drop_exhausting_retries_is_unrecoverable(self):
+        plan = FaultPlan(max_retries=2).drop(
+            sweep=0, step=1, src=0, dst=1, fires=10)
+        t, inj, _ = self._transport(plan)
+        with pytest.raises(UnrecoverableFault):
+            t.deliver_phase(0, 1, [(0, 1, 1)], words=8)
+
+    def test_duplicate_discarded_by_sequence_number(self):
+        plan = FaultPlan().duplicate(sweep=0, step=1, src=0, dst=1)
+        t, inj, cost = self._transport(plan)
+        out = t.deliver_phase(0, 1, [(0, 1, 1)], words=8)
+        actions = [e.action for e in out.events]
+        assert "dedup" in actions
+        assert t._delivered[(0, 1)] == {0}
+
+    def test_sequence_numbers_advance_per_directed_link(self):
+        t, inj, _ = self._transport(FaultPlan())
+        t.deliver_phase(0, 1, [(0, 1, 1)], words=8)
+        t.deliver_phase(0, 2, [(0, 1, 1), (1, 0, 1)], words=8)
+        assert t._next_seq[(0, 1)] == 2
+        assert t._next_seq[(1, 0)] == 1
+
+    def test_dead_peer_burns_budget_then_reports_leaf(self):
+        plan = FaultPlan().crash(leaf=1, sweep=0, step=1)
+        t, inj, _ = self._transport(plan)
+        inj.advance(0, 1)
+        with pytest.raises(LeafFailure) as exc:
+            t.deliver_phase(0, 1, [(0, 1, 1)], words=8)
+        assert exc.value.leaf == 1
+        assert inj.log  # retries + crash report recorded
+
+    def test_outage_waited_out_and_cleared(self):
+        plan = FaultPlan().outage(level=1, sweep=0, step=1, until_step=2)
+        t, inj, _ = self._transport(plan)
+        out = t.deliver_phase(0, 1, [(0, 1, 1)], words=8)
+        assert any(e.action == "outage-wait" for e in out.events)
+        assert inj.pending() == 0  # cleared after the wait
+
+    def test_silent_corruption_delivered_and_flagged(self):
+        plan = FaultPlan().corrupt(sweep=0, step=1, src=0, dst=1,
+                                   mode="nan", silent=True)
+        t, inj, _ = self._transport(plan)
+        out = t.deliver_phase(0, 1, [(0, 1, 1)], words=8)
+        assert out.silent == [(0, 1, "nan")]
+        assert any(e.action == "corrupted" for e in out.events)
+
+
+class TestCorruptions:
+    def test_remote_moves_are_one_based(self):
+        sched = make_ordering("fat_tree", 8).sweep(0)
+        moves = remote_moves(sched)
+        assert moves
+        assert all(k >= 1 for k, _ in moves)
+        k, mv = first_remote_move(sched)
+        assert (k, mv.src, mv.dst) == (moves[0][0], moves[0][1].src,
+                                       moves[0][1].dst)
+
+    @pytest.mark.parametrize("mode", PAYLOAD_MODES)
+    def test_corrupt_payload_changes_data(self, mode):
+        rng = np.random.default_rng(0)
+        data = np.arange(1.0, 9.0)
+        before = data.copy()
+        corrupt_payload(data, mode, rng)
+        assert not np.array_equal(data, before, equal_nan=True)
+
+    def test_corrupt_payload_works_on_strided_views(self):
+        # a column of a C-ordered matrix is a strided view; corruption
+        # must land in the backing matrix, not a temporary copy
+        rng = np.random.default_rng(0)
+        X = np.ones((6, 4))
+        corrupt_payload(X[:, 2], "nan", rng)
+        assert np.isnan(X[:, 2]).sum() == 1
+        assert np.isfinite(X[:, [0, 1, 3]]).all()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            corrupt_payload(np.ones(4), "sparkle", np.random.default_rng(0))

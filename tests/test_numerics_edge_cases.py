@@ -88,20 +88,27 @@ class TestPathologicalSpectra:
 
 
 class TestNonFiniteInput:
-    def test_nan_propagates_not_hangs(self, rng):
+    # non-finite data now trips the kernels' sentinels instead of being
+    # silently rotated into the result: the driver raises a
+    # NumericalBreakdown naming the first offending column pair (and the
+    # public svd() rejects such input up front with ValueError)
+
+    def test_nan_raises_breakdown_not_hangs(self, rng):
+        from repro.util.errors import NumericalBreakdown
+
         a = rng.standard_normal((12, 8))
         a[0, 0] = np.nan
-        with np.errstate(all="ignore"):
-            r = jacobi_svd(a, options=JacobiOptions(max_sweeps=3))
-        # must terminate within the sweep budget, never spin
-        assert r.sweeps <= 3
+        with np.errstate(all="ignore"), pytest.raises(NumericalBreakdown):
+            jacobi_svd(a, options=JacobiOptions(max_sweeps=3))
 
-    def test_inf_terminates(self, rng):
+    def test_inf_raises_breakdown(self, rng):
+        from repro.util.errors import NumericalBreakdown
+
         a = rng.standard_normal((12, 8))
         a[0, 0] = np.inf
-        with np.errstate(all="ignore"):
-            r = jacobi_svd(a, options=JacobiOptions(max_sweeps=3))
-        assert r.sweeps <= 3
+        with np.errstate(all="ignore"), pytest.raises(NumericalBreakdown) as exc:
+            jacobi_svd(a, options=JacobiOptions(max_sweeps=3))
+        assert exc.value.where is not None
 
 
 class TestCorruptedSchedules:
