@@ -16,7 +16,7 @@ from .report import (
     write_report,
 )
 from .scenarios import Scenario, default_scenarios, run_scenario, scenario_names
-from .timing import Timing, median, time_callable
+from .timing import Timing, median, pin_blas_threads, time_callable
 
 __all__ = [
     "SCHEMA",
@@ -27,6 +27,7 @@ __all__ = [
     "default_scenarios",
     "load_report",
     "median",
+    "pin_blas_threads",
     "render_report",
     "run_scenario",
     "scenario_names",

@@ -53,8 +53,17 @@ def build_report(
     repeats: int,
     warmup: int,
     quick: bool = False,
+    blas_threads: int | None = None,
 ) -> dict[str, Any]:
-    """Assemble the report document, deriving speedups from baselines."""
+    """Assemble the report document, deriving speedups from baselines.
+
+    ``blas_threads`` records the pinned BLAS pool size (``None`` = no
+    controllable pool found, i.e. the run was *not* pinned) so a reader
+    can attribute executor speedups to the step executor and not to a
+    floating BLAS thread count.
+    """
+    import os
+
     import numpy
 
     by_name = {r["name"]: r for r in records}
@@ -72,6 +81,8 @@ def build_report(
         "python": platform.python_version(),
         "numpy": numpy.__version__,
         "platform": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "blas_threads": blas_threads,
         "scenarios": records,
     }
 

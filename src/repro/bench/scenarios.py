@@ -15,6 +15,11 @@ protected:
                      (:class:`~repro.parallel.ParallelJacobiSVD`),
                      i.e. real wall time of the simulator, not modelled
                      machine time (scalar and block granularity);
+``svd-parallel-exec`` one block Jacobi run under a chosen step-execution
+                     backend (:mod:`repro.parallel.executor`) — the
+                     threads-vs-serial pair is the multicore headline
+                     (bit-identical results, wall time scaled by the
+                     GIL-releasing GEMM phases);
 ``lint``             latency of the static schedule verifier over the
                      ordering registry;
 ``faults-recovery``  one faulted parallel run (crash + silent
@@ -78,14 +83,27 @@ def _block_scenario(kernel: str, ordering: str, n: int, b: int) -> Scenario:
     )
 
 
+def _exec_scenario(executor: str, n: int, b: int, workers: int) -> Scenario:
+    ref = None if executor == "serial" else f"exec/serial/ring_new/n{n}b{b}"
+    return Scenario(
+        name=f"exec/{executor}/ring_new/n{n}b{b}",
+        kind="svd-parallel-exec",
+        params={"executor": executor, "ordering": "ring_new", "n": n,
+                "m": n + 16, "block_size": b,
+                "workers": workers if executor == "threads" else 1},
+        reference=ref,
+    )
+
+
 def default_scenarios(quick: bool = False) -> list[Scenario]:
     """The shipped scenario list.
 
     Full mode: scalar kernels x {fat_tree, ring_new} x n in {32, 64},
     the block kernels (gram vs reference vs batched at n=128, b=8), the
+    step-executor pair (serial vs threads on the same block run), the
     parallel simulator at scalar and block granularity, the
-    fault-recovery overhead run, and the lint gate (15 scenarios).
-    ``quick`` mode shrinks every size for CI smoke runs (9 scenarios)
+    fault-recovery overhead run, and the lint gate (17 scenarios).
+    ``quick`` mode shrinks every size for CI smoke runs (11 scenarios)
     while keeping the same name structure.
     """
     sizes = (16,) if quick else (32, 64)
@@ -101,6 +119,12 @@ def default_scenarios(quick: bool = False) -> list[Scenario]:
         else ("reference", "batched", "gram")
     for kernel in block_kernels:
         out.append(_block_scenario(kernel, "ring_new", bn, bb))
+    # the executor pair: the same gram-kernel block run under the serial
+    # and the threaded step backend (results are bit-identical; only the
+    # wall time may differ, by however many cores the host offers)
+    en, eb = (32, 4) if quick else (128, 8)
+    for executor in ("serial", "threads"):
+        out.append(_exec_scenario(executor, en, eb, workers=2))
     pn = 8 if quick else 32
     out.append(
         Scenario(
@@ -180,6 +204,28 @@ def run_scenario(
                 sweeps=r.sweeps,
                 rotations=r.rotations,
                 converged=bool(r.converged),
+            )
+
+    elif scenario.kind == "svd-parallel-exec":
+        from ..blockjacobi import BlockJacobiOptions, block_jacobi_svd
+        from ..orderings import make_ordering
+
+        rng = np.random.default_rng(_SEED)
+        a = rng.standard_normal((p["m"], p["n"]))
+        ordering = make_ordering(p["ordering"], p["n"] // p["block_size"])
+        options = BlockJacobiOptions(block_size=p["block_size"],
+                                     kernel="gram",
+                                     executor=p["executor"],
+                                     workers=p["workers"])
+
+        def work() -> None:
+            r = block_jacobi_svd(a, ordering=ordering, options=options)
+            meta.update(
+                sweeps=r.sweeps,
+                rotations=r.rotations,
+                converged=bool(r.converged),
+                executor=p["executor"],
+                workers=p["workers"],
             )
 
     elif scenario.kind == "parallel-sweeps":

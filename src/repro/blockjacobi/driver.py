@@ -28,6 +28,7 @@ import numpy as np
 
 from ..core.result import SVDResult, SweepRecord
 from ..orderings.base import Ordering
+from ..orderings.plan import compile_schedule
 from ..orderings.registry import make_ordering
 from ..svd.convergence import off_norm
 from ..util.errors import ConvergenceWarning
@@ -60,6 +61,16 @@ class BlockJacobiOptions:
         transforms) or ``"reference"`` (per-step masked rotations, the
         numerics the others are tested against) — see
         :mod:`repro.blockjacobi.kernel`.
+    ``executor``
+        Step-execution backend: ``"serial"`` or ``"threads"`` (worker
+        threads share the column buffer; each solves a disjoint subset
+        of a step's independent pair subproblems — bit-identical to
+        serial for any worker count).  ``None`` resolves from
+        ``$REPRO_EXECUTOR`` (default serial).  See
+        :mod:`repro.parallel.executor`.
+    ``workers``
+        Worker threads of the ``threads`` backend; ``None`` resolves
+        from ``$REPRO_WORKERS`` (default: CPU count).
     """
 
     block_size: int = 4
@@ -68,8 +79,12 @@ class BlockJacobiOptions:
     max_sweeps: int = 60
     sort: str | None = "desc"
     kernel: str = "gram"
+    executor: str | None = None
+    workers: int | None = None
 
     def __post_init__(self) -> None:
+        from ..parallel.executor import EXECUTORS
+
         # inner_sweeps = 0 would make every local solve a no-op that
         # reports worst = 0.0, so the driver would declare convergence
         # after one sweep with a wrong result; fail loudly instead
@@ -81,6 +96,18 @@ class BlockJacobiOptions:
         require(self.kernel in BLOCK_KERNELS,
                 f"unknown block kernel {self.kernel!r}; "
                 f"available: {', '.join(BLOCK_KERNELS)}")
+        require(self.executor is None or self.executor in EXECUTORS,
+                f"unknown executor {self.executor!r}; "
+                f"available: {', '.join(EXECUTORS)}")
+        require(self.workers is None or self.workers >= 1,
+                f"workers must be >= 1, got {self.workers!r}")
+
+    def make_executor(self):
+        """Build the run's :class:`~repro.parallel.executor.StepExecutor`
+        (the caller owns and closes it)."""
+        from ..parallel.executor import resolve_executor
+
+        return resolve_executor(self.executor, self.workers)
 
 
 def block_jacobi_svd(
@@ -113,43 +140,44 @@ def block_jacobi_svd(
     X = a.copy()
     V = np.eye(n) if compute_uv else None
     # block_cols[s] = the matrix columns currently stored in block slot s
-    block_cols = [np.arange(s * b, (s + 1) * b, dtype=np.intp) for s in range(n_blocks)]
+    block_cols = np.arange(n, dtype=np.intp).reshape(n_blocks, b)
 
     history: list[SweepRecord] = []
     converged = False
     sweeps = 0
-    for sweep in range(opts.max_sweeps):
-        sched = ord_obj.sweep(sweep)
-        worst = 0.0
-        rotations = 0
-        for step in sched.steps:
-            if step.pairs:
-                pair_cols = [
-                    np.concatenate([block_cols[sa], block_cols[sb]])
-                    for sa, sb in step.pairs
-                ]
-                st, mx = solve_block_step(X, V, pair_cols, opts.tol,
-                                          opts.sort, opts.inner_sweeps,
-                                          opts.kernel)
-                worst = max(worst, mx)
-                rotations += st.applied
-            if step.moves:
-                snapshot = {mv.src: block_cols[mv.src] for mv in step.moves}
-                for mv in step.moves:
-                    block_cols[mv.dst] = snapshot[mv.src]
-        sweeps = sweep + 1
-        history.append(
-            SweepRecord(
-                sweep=sweeps,
-                off_norm=off_norm(X),
-                max_rel_gamma=worst,
-                rotations=rotations,
-                skipped=0,
+    executor = opts.make_executor()
+    try:
+        for sweep in range(opts.max_sweeps):
+            plan = compile_schedule(ord_obj.sweep(sweep))
+            worst = 0.0
+            rotations = 0
+            for cs in plan.steps:
+                if cs.n_pairs:
+                    pair_cols = block_cols[cs.pairs].reshape(cs.n_pairs, 2 * b)
+                    st, mx = solve_block_step(X, V, pair_cols, opts.tol,
+                                              opts.sort, opts.inner_sweeps,
+                                              opts.kernel, executor=executor)
+                    worst = max(worst, mx)
+                    rotations += st.applied
+                if cs.has_moves:
+                    # fancy assignment materialises the gather first, so
+                    # the move phase keeps its snapshot semantics
+                    block_cols[cs.dst] = block_cols[cs.src]
+            sweeps = sweep + 1
+            history.append(
+                SweepRecord(
+                    sweep=sweeps,
+                    off_norm=off_norm(X),
+                    max_rel_gamma=worst,
+                    rotations=rotations,
+                    skipped=0,
+                )
             )
-        )
-        if worst <= opts.tol:
-            converged = True
-            break
+            if worst <= opts.tol:
+                converged = True
+                break
+    finally:
+        executor.close()
 
     watchdog_msg = None
     if not converged:

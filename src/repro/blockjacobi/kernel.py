@@ -114,19 +114,31 @@ def solve_block_pair(
 def solve_block_step(
     X: np.ndarray,
     V: np.ndarray | None,
-    pair_cols: list[np.ndarray],
+    pair_cols: "list[np.ndarray] | np.ndarray",
     tol: float,
     sort: str | None,
     inner_sweeps: int,
     kernel: str = "gram",
+    executor=None,
 ) -> tuple[RotationStats, float]:
     """Solve every met block pair of one schedule step.
 
     ``pair_cols`` holds one ``2b``-element column-index array per block
-    pair; the sets are disjoint (the pairs run on distinct leaves), so
-    the local solves are independent and the gram kernel batches them
-    into stacked BLAS-3 calls.  Returns merged rotation counters and the
-    worst first-touch relative off-diagonal across all pairs.
+    pair (a list of arrays or one ``(n_pairs, 2b)`` array); the sets are
+    disjoint (the pairs run on distinct leaves), so the local solves are
+    independent and the gram kernel batches them into stacked BLAS-3
+    calls.  Returns merged rotation counters and the worst first-touch
+    relative off-diagonal across all pairs.
+
+    ``executor`` (a :class:`~repro.parallel.executor.StepExecutor`)
+    spreads the step's independent work over worker threads: the gram
+    kernel chunks only its gather/Gram-form and apply/scatter GEMM
+    phases — the inner Gram Jacobi stays one full-stack solve, because
+    its convergence floor couples matrices across the batch and
+    splitting it would change the rotation sequence — while the
+    per-pair kernels chunk the pair loop itself.  Either way the result
+    is bit-identical to the serial path for any worker count (see
+    :mod:`repro.parallel.executor` for the contract).
 
     On :class:`~repro.util.errors.NumericalBreakdown` the step degrades
     gracefully: the pairs are re-solved one by one, each walking down
@@ -135,21 +147,36 @@ def solve_block_step(
     per-pair retry starts from unmodified data.
     """
     require(sort in _SORT_MODES, f"sort must be one of {_SORT_MODES}, got {sort!r}")
-    if not pair_cols:
+    if len(pair_cols) == 0:
         return RotationStats(), 0.0
     require(kernel in BLOCK_KERNELS,
             f"unknown block kernel {kernel!r}; "
             f"available: {', '.join(BLOCK_KERNELS)}")
     if kernel == "gram":
         try:
-            return _solve_gram_many(X, V, pair_cols, tol, sort, inner_sweeps)
+            return _solve_gram_many(X, V, pair_cols, tol, sort, inner_sweeps,
+                                    executor)
         except NumericalBreakdown:
             pass  # isolate the poisoned pairs via the per-pair chain
+    chain = FALLBACK_CHAINS[kernel]
+
+    def run_pairs(lo: int, hi: int) -> tuple[RotationStats, float]:
+        stats = RotationStats()
+        worst = 0.0
+        for i in range(lo, hi):
+            st, mx = _solve_pair_chain(X, V, pair_cols[i], tol, sort,
+                                       inner_sweeps, chain)
+            stats.merge(st)
+            worst = max(worst, mx)
+        return stats, worst
+
+    if executor is None or executor.workers == 1:
+        return run_pairs(0, len(pair_cols))
+    # pairs touch disjoint columns, so the chunks are fully independent;
+    # stats are merged in chunk order for a deterministic reduction
     stats = RotationStats()
     worst = 0.0
-    chain = FALLBACK_CHAINS[kernel]
-    for cols in pair_cols:
-        st, mx = _solve_pair_chain(X, V, cols, tol, sort, inner_sweeps, chain)
+    for st, mx in executor.run_chunks(len(pair_cols), run_pairs):
         stats.merge(st)
         worst = max(worst, mx)
     return stats, worst
@@ -355,10 +382,11 @@ def _apply_sort_only(
 def _solve_gram_many(
     X: np.ndarray,
     V: np.ndarray | None,
-    pair_cols: list[np.ndarray],
+    pair_cols: "list[np.ndarray] | np.ndarray",
     tol: float,
     sort: str | None,
     inner_sweeps: int,
+    executor=None,
 ) -> tuple[RotationStats, float]:
     """BLAS-3 Gram-space solve of a whole step's met pairs at once.
 
@@ -366,16 +394,39 @@ def _solve_gram_many(
     (:func:`repro.eig.gram_eigh_batched`), one stacked application
     ``Y_i <- Y_i W_i`` / ``V_i <- V_i W_i`` — every flop is a batched
     GEMM over the ``(nb, 2b, *)`` stack.
+
+    With an ``executor``, the two GEMM phases (gather/Gram-form and
+    apply/scatter) are chunked over the batch dimension: each chunk
+    gathers and writes only its own ``[lo:hi]`` slice of the
+    preallocated stacks, and each 2D GEMM inside the batch is computed
+    exactly as in the serial path, so the result is bit-identical for
+    any worker count.  The inner Jacobi between the phases is
+    deliberately one full-stack call: its convergence floor couples
+    matrices across the batch (a converged-by-floor block in a mixed
+    batch would receive extra rotations if batches were split), so
+    chunking it would break the determinism contract.
     """
     stats = RotationStats()
-    nb = len(pair_cols)
     k = len(pair_cols[0])
     require(all(len(c) == k for c in pair_cols),
             "all block pairs of a step must have equal width")
+    cols_arr = np.asarray(pair_cols, dtype=np.intp)
+    nb = len(cols_arr)
     m = X.shape[0]
-    allcols = np.concatenate(pair_cols)
-    Ys = X.T[allcols].reshape(nb, k, m)  # Ys[i] = Y_i^T
-    G = Ys @ Ys.transpose(0, 2, 1)
+    allcols = cols_arr.reshape(-1)
+    XT = X.T
+    Ys = np.empty((nb, k, m))  # Ys[i] = Y_i^T
+    G = np.empty((nb, k, k))
+
+    def form_gram(lo: int, hi: int) -> None:
+        Ys[lo:hi] = XT[cols_arr[lo:hi].reshape(-1)].reshape(hi - lo, k, m)
+        np.matmul(Ys[lo:hi], Ys[lo:hi].transpose(0, 2, 1), out=G[lo:hi])
+
+    chunked = executor is not None and executor.workers > 1
+    if chunked:
+        executor.run_chunks(nb, form_gram)
+    else:
+        form_gram(0, nb)
     finite = np.isfinite(G)
     if not finite.all():
         # breakdown sentinel: raise before any column is touched so the
@@ -383,8 +434,8 @@ def _solve_gram_many(
         i = int(np.argwhere(~finite)[0][0])
         raise NumericalBreakdown(
             f"non-finite Gram block for pair {i} "
-            f"(columns {pair_cols[i].tolist()})",
-            where=(int(pair_cols[i][0]), int(pair_cols[i][-1])))
+            f"(columns {cols_arr[i].tolist()})",
+            where=(int(cols_arr[i][0]), int(cols_arr[i][-1])))
     # gemm output is symmetric only to rounding; the solver updates
     # (p, q) and (q, p) through the same rotation, so symmetrise once
     G = 0.5 * (G + G.transpose(0, 2, 1))
@@ -414,14 +465,23 @@ def _solve_gram_many(
         else:
             perm = np.argsort(d2, axis=1, kind="stable")
         W = np.take_along_axis(W, perm[:, None, :], axis=2)
-        targets = np.concatenate([np.sort(c) for c in pair_cols])
+        tgt_arr = np.sort(cols_arr, axis=1)
     else:
-        targets = allcols
-    out = W.transpose(0, 2, 1) @ Ys  # out[i] = (Y_i W_i)^T
-    X[:, targets] = out.reshape(nb * k, m).T
-    if V is not None:
-        n = V.shape[0]
-        Vs = V.T[allcols].reshape(nb, k, n)
-        vout = W.transpose(0, 2, 1) @ Vs
-        V[:, targets] = vout.reshape(nb * k, n).T
+        tgt_arr = cols_arr
+    VT = V.T if V is not None else None
+    n = V.shape[0] if V is not None else 0
+
+    def apply_scatter(lo: int, hi: int) -> None:
+        out = W[lo:hi].transpose(0, 2, 1) @ Ys[lo:hi]  # (Y_i W_i)^T
+        tgt = tgt_arr[lo:hi].reshape(-1)
+        X[:, tgt] = out.reshape((hi - lo) * k, m).T
+        if VT is not None:
+            Vs = VT[cols_arr[lo:hi].reshape(-1)].reshape(hi - lo, k, n)
+            vout = W[lo:hi].transpose(0, 2, 1) @ Vs
+            V[:, tgt] = vout.reshape((hi - lo) * k, n).T
+
+    if chunked:
+        executor.run_chunks(nb, apply_scatter)
+    else:
+        apply_scatter(0, nb)
     return stats, worst

@@ -63,6 +63,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--block-size", type=int, default=None, metavar="B",
                      help="run at block granularity with B columns per "
                           "schedule unit (default: scalar, 1 column)")
+    run.add_argument("--executor", default=None,
+                     choices=["serial", "threads"],
+                     help="block step-execution backend (threads splits each "
+                          "step's pair subproblems across worker threads, "
+                          "bit-identical to serial; needs --block-size)")
+    run.add_argument("--workers", type=int, default=None, metavar="W",
+                     help="worker threads of --executor threads "
+                          "(default: $REPRO_WORKERS or the CPU count)")
     run.add_argument("--max-sweeps", type=int, default=None, metavar="S",
                      help="outer sweep budget (exit 1 if exhausted without "
                           "convergence)")
@@ -117,6 +125,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--scenario", action="append", default=None,
                        metavar="NAME", dest="scenarios",
                        help="run only this scenario (repeatable)")
+    bench.add_argument("--filter", default=None, metavar="REGEX",
+                       help="run only scenarios whose name matches this "
+                            "regular expression (re.search; composes with "
+                            "--scenario)")
     bench.add_argument("--json", action="store_true",
                        help="print the full report JSON to stdout")
     bench.add_argument("--compare", default=None, metavar="OLD.json",
@@ -161,6 +173,7 @@ def _bench(args: argparse.Namespace) -> int:
         compare_reports,
         default_scenarios,
         load_report,
+        pin_blas_threads,
         render_report,
         run_scenario,
         validate_report,
@@ -192,6 +205,16 @@ def _bench(args: argparse.Namespace) -> int:
             return 2
 
     scens = default_scenarios(quick=args.quick)
+    if args.filter is not None:
+        try:
+            pat = re.compile(args.filter)
+        except re.error as exc:
+            print(f"invalid --filter regex {args.filter!r}: {exc}")
+            return 2
+        scens = [s for s in scens if pat.search(s.name)]
+        if not scens:
+            print(f"--filter {args.filter!r} matches no scenario")
+            return 2
     if args.scenarios:
         by_name = {s.name: s for s in scens}
         unknown = [n for n in args.scenarios if n not in by_name]
@@ -201,13 +224,21 @@ def _bench(args: argparse.Namespace) -> int:
             return 2
         scens = [by_name[n] for n in args.scenarios]
 
+    # pin the BLAS pool so executor speedups are attributable to the
+    # step executor, not to OpenBLAS's own threading
+    pinned = pin_blas_threads(1)
+    blas_threads = 1 if pinned is not None else None
+    if not args.json and blas_threads is None:
+        print("warning: no controllable BLAS pool found; timings unpinned",
+              flush=True)
     records = []
     for s in scens:
         if not args.json:
             print(f"timing {s.name} ...", flush=True)
         records.append(run_scenario(s, repeats=args.repeats, warmup=args.warmup))
     doc = build_report(args.tag, records, repeats=args.repeats,
-                       warmup=args.warmup, quick=args.quick)
+                       warmup=args.warmup, quick=args.quick,
+                       blas_threads=blas_threads)
     path = os.path.join(args.out, f"BENCH_{args.tag}.json")
     write_report(doc, path)
     if args.json:
@@ -244,6 +275,15 @@ def _svd(args: argparse.Namespace) -> int:
         return 2
     if args.block_size is not None and args.block_size < 1:
         print("--block-size must be a positive column count")
+        return 2
+    if args.executor is not None and args.block_size is None:
+        print("--executor applies to block mode; pass --block-size B")
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("--workers must be >= 1")
+        return 2
+    if args.workers is not None and args.block_size is None:
+        print("--workers applies to block mode; pass --block-size B")
         return 2
     if args.max_sweeps is not None and args.max_sweeps < 1:
         print("--max-sweeps must be >= 1")
@@ -282,7 +322,8 @@ def _svd(args: argparse.Namespace) -> int:
             from repro import svd
 
             r = svd(a, ordering=args.ordering, kernel=args.kernel,
-                    block_size=args.block_size, options=options)
+                    block_size=args.block_size, executor=args.executor,
+                    workers=args.workers, options=options)
             print(f"converged={r.converged} sweeps={r.sweeps} "
                   f"rotations={r.rotations} sorted={r.emerged_sorted}")
         else:
@@ -290,7 +331,9 @@ def _svd(args: argparse.Namespace) -> int:
 
             r, rep = parallel_svd(a, topology=args.topology,
                                   ordering=args.ordering, kernel=args.kernel,
-                                  block_size=args.block_size, options=options,
+                                  block_size=args.block_size,
+                                  executor=args.executor,
+                                  workers=args.workers, options=options,
                                   fault_plan=plan)
             print(f"converged={r.converged} sweeps={r.sweeps}")
             print(f"total={rep.total_time:.0f} compute={rep.compute_time:.0f} "

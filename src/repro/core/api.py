@@ -50,17 +50,26 @@ def _block_options(
     options: JacobiOptions | BlockJacobiOptions | None,
     kernel: str | None,
     block_size: int | None,
+    executor: str | None = None,
+    workers: int | None = None,
 ) -> BlockJacobiOptions | None:
     """Resolve the block-mode options, or ``None`` for scalar mode.
 
     Block mode is requested by ``block_size`` or by passing a
     :class:`BlockJacobiOptions` directly; scalar ``JacobiOptions`` carry
     their shared knobs (tol, max_sweeps, sort) over.  A block-only
-    kernel (``"gram"``) without a block size is a usage error.
+    kernel (``"gram"``) without a block size is a usage error, as is an
+    explicit step executor (the scalar kernels have no independent pair
+    subproblems to hand to worker threads).
     """
     if block_size is None and not isinstance(options, BlockJacobiOptions):
         require(kernel != "gram",
                 "kernel='gram' is a block kernel; pass block_size=...")
+        require(executor is None,
+                f"executor={executor!r} applies to block mode only; "
+                "pass block_size=...")
+        require(workers is None,
+                "workers= applies to block mode only; pass block_size=...")
         return None
     if isinstance(options, BlockJacobiOptions):
         base = options
@@ -77,6 +86,10 @@ def _block_options(
                 f"unknown block kernel {kernel!r}; "
                 f"available: {', '.join(BLOCK_KERNELS)}")
         base = dataclasses.replace(base, kernel=kernel)
+    if executor is not None:
+        base = dataclasses.replace(base, executor=executor)
+    if workers is not None:
+        base = dataclasses.replace(base, workers=workers)
     return base
 
 
@@ -86,6 +99,8 @@ def svd(
     options: JacobiOptions | BlockJacobiOptions | None = None,
     kernel: str | None = None,
     block_size: int | None = None,
+    executor: str | None = None,
+    workers: int | None = None,
     fault_plan: "FaultPlan | None" = None,
     **ordering_kwargs: object,
 ) -> SVDResult:
@@ -105,6 +120,11 @@ def svd(
     BLAS-3 gram kernel by default).  Admissibility and padding are then
     decided at block granularity.
 
+    ``executor``/``workers`` pick the step-execution backend of block
+    mode (``"serial"`` or ``"threads"``; threads split each step's
+    independent pair subproblems across worker threads, bit-identical
+    to serial) — see :mod:`repro.parallel.executor`.
+
     ``fault_plan`` (a :class:`~repro.faults.FaultPlan`) runs the
     decomposition on the simulated tree machine under fault injection
     and recovery; the telemetry is discarded and only the result
@@ -118,10 +138,10 @@ def svd(
         # return just the decomposition
         result, _ = parallel_svd(
             a, topology="perfect", ordering=ordering, options=options,
-            kernel=kernel, block_size=block_size, fault_plan=fault_plan,
-            **ordering_kwargs)
+            kernel=kernel, block_size=block_size, executor=executor,
+            workers=workers, fault_plan=fault_plan, **ordering_kwargs)
         return result
-    bopts = _block_options(options, kernel, block_size)
+    bopts = _block_options(options, kernel, block_size, executor, workers)
     n = a.shape[1]
     pow2 = _needs_power_of_two(ordering)
     if bopts is not None:
@@ -156,6 +176,8 @@ def parallel_svd(
     options: JacobiOptions | BlockJacobiOptions | None = None,
     kernel: str | None = None,
     block_size: int | None = None,
+    executor: str | None = None,
+    workers: int | None = None,
     fault_plan: "FaultPlan | None" = None,
     **ordering_kwargs: object,
 ) -> tuple[SVDResult, ParallelRunReport]:
@@ -163,7 +185,9 @@ def parallel_svd(
 
     ``block_size=b`` runs the machine at block granularity: ``n / b``
     schedule units, ``b``-column messages, block kernels on the leaves
-    (the BLAS-3 gram kernel by default).
+    (the BLAS-3 gram kernel by default).  ``executor``/``workers``
+    choose the block step-execution backend (``"serial"`` or
+    ``"threads"``, bit-identical) — see :mod:`repro.parallel.executor`.
 
     ``fault_plan`` (a :class:`~repro.faults.FaultPlan`) injects the
     planned faults during the run; the machine recovers via the ack/seq
@@ -175,7 +199,7 @@ def parallel_svd(
     a = np.asarray(a, dtype=np.float64)
     require(a.ndim == 2, "matrix expected")
     require_finite(a, "a")
-    bopts = _block_options(options, kernel, block_size)
+    bopts = _block_options(options, kernel, block_size, executor, workers)
     pow2 = _needs_power_of_two(ordering)
     if bopts is not None:
         options = bopts

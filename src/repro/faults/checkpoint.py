@@ -34,7 +34,8 @@ class MachineCheckpoint:
     V: np.ndarray | None
     labels: np.ndarray
     norms_sq: np.ndarray | None
-    block_cols: list[np.ndarray] | None
+    #: (n_slots, b) block-to-column indirection (block mode only)
+    block_cols: np.ndarray | None
 
     @property
     def words(self) -> int:
@@ -50,7 +51,7 @@ def take_checkpoint(machine: "TreeMachine") -> MachineCheckpoint:
         labels=machine.labels.copy(),
         norms_sq=(machine._norms_sq.copy()
                   if machine._norms_sq is not None else None),
-        block_cols=([cols.copy() for cols in machine.block_cols]
+        block_cols=(machine.block_cols.copy()
                     if machine.block_cols is not None else None),
     )
 
@@ -62,5 +63,5 @@ def restore_checkpoint(machine: "TreeMachine", cp: MachineCheckpoint) -> None:
     machine.labels = cp.labels.copy()
     machine._norms_sq = (cp.norms_sq.copy()
                          if cp.norms_sq is not None else None)
-    machine.block_cols = ([cols.copy() for cols in cp.block_cols]
+    machine.block_cols = (cp.block_cols.copy()
                           if cp.block_cols is not None else None)

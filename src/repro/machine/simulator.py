@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..orderings.plan import CompiledStep, compile_schedule
 from ..orderings.schedule import Schedule
 from ..svd.rotations import (
     RotationStats,
@@ -60,8 +61,14 @@ class TreeMachine:
         self.kernel: str = "reference"
         self.block_size: int | None = None
         self.inner_sweeps: int = 2
-        self.block_cols: list[np.ndarray] | None = None
+        #: (n_slots, b) block-to-column indirection in block mode
+        self.block_cols: np.ndarray | None = None
         self._norms_sq: np.ndarray | None = None
+        # batched kernel's column-as-row working buffer, allocated once
+        # per load() and refilled (not reallocated) every sweep
+        self._WT: np.ndarray | None = None
+        # step executor for the block-mode local solves (None = serial)
+        self._executor = None
         # fault-mode state: injector + reliable transport, and the
         # degraded host map (logical leaf -> physical leaf)
         self.injector = None
@@ -81,7 +88,7 @@ class TreeMachine:
 
     def load(self, a: np.ndarray, compute_v: bool = True,
              kernel: str = "reference", block_size: int | None = None,
-             inner_sweeps: int = 2) -> None:
+             inner_sweeps: int = 2, executor=None) -> None:
         """Distribute the columns of ``a`` over the leaves.
 
         Scalar mode (``block_size=None``): slot ``i`` holds column ``i``,
@@ -89,7 +96,10 @@ class TreeMachine:
         ``i`` holds the ``block_size`` columns ``i*b .. (i+1)*b - 1`` and
         ``kernel`` names a block-pair solver from
         :data:`repro.blockjacobi.BLOCK_KERNELS` (``inner_sweeps`` cyclic
-        sweeps per met pair).
+        sweeps per met pair).  ``executor`` (a
+        :class:`~repro.parallel.executor.StepExecutor`) runs each step's
+        independent block solves across worker threads; results are
+        bit-identical to serial, the caller owns (and closes) it.
         """
         if block_size is None:
             from ..svd.hestenes import KERNELS
@@ -120,18 +130,22 @@ class TreeMachine:
         self.V = np.eye(a.shape[1]) if compute_v else None
         self.labels = np.arange(self.n_slots, dtype=np.intp)
         self.kernel = kernel
+        self._executor = executor
+        self._WT = None
         if block_size is not None:
-            b = block_size
-            self.block_cols = [
-                np.arange(s * b, (s + 1) * b, dtype=np.intp)
-                for s in range(self.n_slots)
-            ]
+            self.block_cols = np.arange(
+                self.n_columns, dtype=np.intp).reshape(self.n_slots, block_size)
             self._norms_sq = None
         else:
             self.block_cols = None
             # the batched kernel's cross-sweep squared-norm cache, kept in
             # slot order (X/V stay the canonical storage between sweeps)
             self._norms_sq = column_norms_sq(self.X) if kernel == "batched" else None
+            if kernel == "batched":
+                # per-sweep working buffer (stacked [X; V] column-as-row),
+                # allocated once here and refilled each sweep
+                m, n = a.shape
+                self._WT = np.empty((n, m + (n if compute_v else 0)))
 
     # -- fault-mode hooks -------------------------------------------------
 
@@ -152,6 +166,17 @@ class TreeMachine:
         """Physical leaf executing logical leaf ``leaf`` (identity when
         healthy; the sibling after graceful degradation)."""
         return int(self.host_of_leaf[leaf])
+
+    def _busiest_leaf(self, cs: CompiledStep) -> int:
+        """Rotation count of the step's busiest physical leaf.
+
+        The compiled plan precomputes the identity-host-map value; only
+        a degraded machine (rehosted leaves) recounts under the current
+        host map.
+        """
+        if not self.dead_leaves:
+            return cs.max_pairs_per_leaf
+        return int(np.bincount(self.host_of_leaf[cs.pair_leaves]).max())
 
     def require_finite(self) -> None:
         """Sweep-boundary guardrail: raise
@@ -261,17 +286,21 @@ class TreeMachine:
         """
         require(self.X is not None, "load() a matrix first")
         require(schedule.n == self.n_slots, "schedule size != machine size")
+        plan = compile_schedule(schedule)
         if self.block_size is not None:
-            return self._run_sweep_block(schedule, tol, sort, sweep_index)
+            return self._run_sweep_block(plan, tol, sort, sweep_index)
         X, V, labels = self.X, self.V, self.labels
         m = X.shape[0]
         batched = self.kernel == "batched"
         if batched:
             # column-as-row working buffer for this sweep; X/V remain the
             # canonical storage so the telemetry/inspection surface is
-            # kernel-agnostic (conversion is one transpose either way)
-            stack = np.vstack((X, V)) if V is not None else X
-            WT = np.ascontiguousarray(stack.T)
+            # kernel-agnostic (conversion is one transpose either way);
+            # the buffer itself is hoisted onto the machine by load()
+            WT = self._WT
+            WT[:, :m] = X.T
+            if V is not None:
+                WT[:, m:] = V.T
             norms_sq = self._norms_sq
         if self.injector is not None:
             from ..faults.corruptions import corrupt_payload
@@ -293,7 +322,7 @@ class TreeMachine:
         stats = SweepStats()
         rstats = RotationStats()
         worst = 0.0
-        for k, step in enumerate(schedule.steps, start=1):
+        for k, cs in enumerate(plan.steps, start=1):
             rotations = 0
             compute_t = 0.0
             retries = 0
@@ -301,12 +330,11 @@ class TreeMachine:
             if self.injector is not None:
                 compute_t, fault_events = self._fault_step_begin(
                     sweep_index, k, mark)
-            if step.pairs:
-                a = np.fromiter((p[0] for p in step.pairs), dtype=np.intp)
-                b = np.fromiter((p[1] for p in step.pairs), dtype=np.intp)
+            if cs.n_pairs:
+                a, b = cs.a, cs.b
                 flip = labels[a] > labels[b]
                 if batched:
-                    ab = np.column_stack((a, b))
+                    ab = cs.pairs
                     P = np.where(flip[:, None], ab[:, ::-1], ab)
                     st, mx = apply_step_rotations_batched(
                         WT, P, tol, sort, norms_sq, m
@@ -317,23 +345,19 @@ class TreeMachine:
                     st, mx = apply_step_rotations(X, V, left, right, tol, sort)
                 rstats.merge(st)
                 worst = max(worst, mx)
-                rotations = len(step.pairs)
+                rotations = cs.n_pairs
                 # each leaf rotates at most one of the step's pairs; remote
                 # pairs (non-co-resident slots) would serialise, but the
                 # paper's orderings are fully local so the busiest leaf
                 # performs exactly one rotation
-                per_leaf: dict[int, int] = {}
-                for pa, pb in step.pairs:
-                    leaf = self._host(leaf_of_slot(pa))
-                    per_leaf[leaf] = per_leaf.get(leaf, 0) + 1
-                compute_t += self.cost.compute_time(max(per_leaf.values()), m)
+                compute_t += self.cost.compute_time(
+                    self._busiest_leaf(cs), m)
             comm_t = 0.0
             messages = 0
             max_level = 0
             contention = 0.0
-            if step.moves:
-                src = np.fromiter((mv.src for mv in step.moves), dtype=np.intp)
-                dst = np.fromiter((mv.dst for mv in step.moves), dtype=np.intp)
+            if cs.has_moves:
+                src, dst = cs.src, cs.dst
                 if batched:
                     WT[dst] = WT[src]
                     norms_sq[dst] = norms_sq[src]
@@ -346,15 +370,13 @@ class TreeMachine:
                 # block when vectors are accumulated)
                 words = m + (X.shape[1] if V is not None else 0)
                 if self.injector is None:
-                    phase = route_phase(
-                        self.topology,
-                        ((leaf_of_slot(mv.src), leaf_of_slot(mv.dst))
-                         for mv in step.moves),
-                    )
+                    # healthy host map: routing depends only on (plan,
+                    # topology), so the memoised phase is exact
+                    phase = plan.route_phase(self.topology, k - 1)
                     extra = 0.0
                 else:
                     phase, extra, retries, move_events = self._fault_deliver(
-                        sweep_index, k, step.moves, words, corrupt_slot)
+                        sweep_index, k, cs.moves, words, corrupt_slot)
                     fault_events.extend(move_events)
                 messages = phase.n_messages
                 max_level = phase.max_level
@@ -381,7 +403,7 @@ class TreeMachine:
 
     def _run_sweep_block(
         self,
-        schedule: Schedule,
+        plan,
         tol: float,
         sort: str | None,
         sweep_index: int = 0,
@@ -411,7 +433,7 @@ class TreeMachine:
         stats = SweepStats()
         rstats = RotationStats()
         worst = 0.0
-        for k, step in enumerate(schedule.steps, start=1):
+        for k, cs in enumerate(plan.steps, start=1):
             rotations = 0
             compute_t = 0.0
             retries = 0
@@ -419,48 +441,38 @@ class TreeMachine:
             if self.injector is not None:
                 compute_t, fault_events = self._fault_step_begin(
                     sweep_index, k, mark)
-            if step.pairs:
-                pair_cols = [
-                    np.concatenate([block_cols[sa], block_cols[sb]])
-                    for sa, sb in step.pairs
-                ]
+            if cs.n_pairs:
+                # (n_pairs, 2b): row i = the met columns of block pair i
+                pair_cols = block_cols[cs.pairs].reshape(cs.n_pairs, 2 * b)
                 st, mx = solve_block_step(X, V, pair_cols, tol, sort,
-                                          self.inner_sweeps, self.kernel)
+                                          self.inner_sweeps, self.kernel,
+                                          executor=self._executor)
                 rstats.merge(st)
                 worst = max(worst, mx)
                 # block granularity: one "rotation" per met block pair
-                rotations = len(step.pairs)
-                per_leaf: dict[int, int] = {}
-                for pa, pb in step.pairs:
-                    leaf = self._host(leaf_of_slot(pa))
-                    per_leaf[leaf] = per_leaf.get(leaf, 0) + 1
+                rotations = cs.n_pairs
                 compute_t += self.cost.block_compute_time(
-                    max(per_leaf.values()), m, b, self.inner_sweeps
+                    self._busiest_leaf(cs), m, b, self.inner_sweeps
                 )
             comm_t = 0.0
             messages = 0
             max_level = 0
             contention = 0.0
-            if step.moves:
-                snapshot = {mv.src: block_cols[mv.src] for mv in step.moves}
-                for mv in step.moves:
-                    block_cols[mv.dst] = snapshot[mv.src]
-                src = np.fromiter((mv.src for mv in step.moves), dtype=np.intp)
-                dst = np.fromiter((mv.dst for mv in step.moves), dtype=np.intp)
+            if cs.has_moves:
+                src, dst = cs.src, cs.dst
+                # fancy assignment materialises the gather first, so the
+                # snapshot semantics of a move phase hold
+                block_cols[dst] = block_cols[src]
                 labels[dst] = labels[src]
                 # a message carries one b-column block of b*m words (plus
                 # its V row block when vectors are accumulated)
                 words = b * (m + (X.shape[1] if V is not None else 0))
                 if self.injector is None:
-                    phase = route_phase(
-                        self.topology,
-                        ((leaf_of_slot(mv.src), leaf_of_slot(mv.dst))
-                         for mv in step.moves),
-                    )
+                    phase = plan.route_phase(self.topology, k - 1)
                     extra = 0.0
                 else:
                     phase, extra, retries, move_events = self._fault_deliver(
-                        sweep_index, k, step.moves, words, corrupt_slot)
+                        sweep_index, k, cs.moves, words, corrupt_slot)
                     fault_events.extend(move_events)
                 messages = phase.n_messages
                 max_level = phase.max_level

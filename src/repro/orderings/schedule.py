@@ -237,6 +237,11 @@ def permutation_of_sweep(schedule: Schedule) -> list[int]:
     Restoration after ``k`` sweeps is equivalent to ``sigma`` having order
     dividing ``k`` — the property the paper proves for its orderings
     (order 1 for the fat-tree ordering, order 2 for the ring orderings).
+
+    Reads the compiled plan (:mod:`repro.orderings.plan`), whose
+    trajectory is precomputed once per schedule structure; the lazy
+    import avoids a cycle (the plan module lowers this module's types).
     """
-    final = schedule.final_layout(list(range(schedule.n)))
-    return final
+    from .plan import compile_schedule
+
+    return compile_schedule(schedule).final_layout().tolist()

@@ -151,12 +151,26 @@ class ParallelJacobiSVD:
         machine, ordering = self._build(n)
         opts = self.options
         block = isinstance(opts, BlockJacobiOptions)
+        executor = None
         if block:
+            executor = opts.make_executor()
             machine.load(a, compute_v=compute_uv, kernel=opts.kernel,
                          block_size=opts.block_size,
-                         inner_sweeps=opts.inner_sweeps)
+                         inner_sweeps=opts.inner_sweeps,
+                         executor=executor)
         else:
             machine.load(a, compute_v=compute_uv, kernel=opts.kernel)
+        try:
+            return self._compute_loaded(
+                a, machine, ordering, opts, block, compute_uv, fault_plan)
+        finally:
+            if executor is not None:
+                executor.close()
+
+    def _compute_loaded(
+        self, a, machine, ordering, opts, block, compute_uv, fault_plan,
+    ) -> tuple[SVDResult, ParallelRunReport]:
+        m, n = a.shape
         injector = None
         watchdog = None
         if fault_plan is not None:

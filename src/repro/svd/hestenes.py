@@ -90,22 +90,19 @@ def _schedule_arrays(
     sched: object,
 ) -> list[tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None]]:
     """Per-step index arrays ``(pairs (k,2), move src, move dst)`` of a
-    schedule, converted once so the sweep loop is free of per-step Python
-    iteration over tuples."""
-    out: list[tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None]] = []
-    for step in sched.steps:  # type: ignore[attr-defined]
-        ab = (
-            np.asarray(step.pairs, dtype=np.intp).reshape(-1, 2)
-            if step.pairs
-            else None
-        )
-        if step.moves:
-            src = np.fromiter((m.src for m in step.moves), dtype=np.intp)
-            dst = np.fromiter((m.dst for m in step.moves), dtype=np.intp)
-        else:
-            src = dst = None
-        out.append((ab, src, dst))
-    return out
+    schedule, drawn from its compiled plan
+    (:func:`repro.orderings.plan.compile_schedule`) so the lowering is
+    shared with the machine simulator and paid once per structure, not
+    once per driver."""
+    from ..orderings.plan import compile_schedule
+
+    plan = compile_schedule(sched)
+    return [
+        (cs.pairs if cs.n_pairs else None,
+         cs.src if cs.has_moves else None,
+         cs.dst if cs.has_moves else None)
+        for cs in plan.steps
+    ]
 
 
 def hestenes_sweeps(

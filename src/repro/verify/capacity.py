@@ -20,36 +20,40 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from ..machine.routing import route_phase
 from ..machine.topology import TreeTopology
+from ..orderings.plan import CompiledStep, compile_schedule
 from ..orderings.schedule import Schedule
-from ..util.bits import leaf_of_slot
 from .diagnostics import Diagnostic
 
 __all__ = ["check_capacity", "static_level_contention", "crosscheck_dynamic"]
 
 
-def _phase_messages(step_moves, n_leaves: int):
-    """``(src_leaf, dst_leaf)`` endpoints of a phase, plus out-of-range leaves."""
-    messages: list[tuple[int, int]] = []
-    oob: set[int] = set()
-    for m in step_moves:
-        src, dst = leaf_of_slot(m.src), leaf_of_slot(m.dst)
-        for leaf in (src, dst):
-            if not 0 <= leaf < n_leaves:
-                oob.add(leaf)
-        if not oob:
-            messages.append((src, dst))
-    return messages, sorted(oob)
+def _oob_leaves(cs: CompiledStep, n_leaves: int) -> list[int]:
+    """Move endpoints of a compiled step outside the topology's leaves.
+
+    The plan lowers any *well-formed* schedule (slots validated against
+    ``schedule.n``), but the verifier may pair it with a smaller
+    topology — those endpoints must be flagged, not routed.
+    """
+    leaves = cs.move_leaves
+    mask = (leaves < 0) | (leaves >= n_leaves)
+    return sorted({int(leaf) for leaf in leaves[mask.any(axis=1)].ravel()
+                   if not 0 <= leaf < n_leaves})
 
 
 def check_capacity(schedule: Schedule, topology: TreeTopology) -> list[Diagnostic]:
-    """CAP002/CAP003 diagnostics for every phase of a sweep."""
+    """CAP002/CAP003 diagnostics for every phase of a sweep.
+
+    Consumes the compiled plan (:mod:`repro.orderings.plan`): the
+    schedule is lowered once and the per-step routing outcome is
+    memoised on the plan, shared with the simulator's healthy path.
+    """
+    plan = compile_schedule(schedule)
     out: list[Diagnostic] = []
-    for step_no, step in enumerate(schedule.steps, start=1):
-        if not step.moves:
+    for step_no, cs in enumerate(plan.steps, start=1):
+        if not cs.has_moves:
             continue
-        messages, oob = _phase_messages(step.moves, topology.n_leaves)
+        oob = _oob_leaves(cs, topology.n_leaves)
         if oob:
             out.append(Diagnostic(
                 rule="CAP002", step=step_no,
@@ -58,7 +62,7 @@ def check_capacity(schedule: Schedule, topology: TreeTopology) -> list[Diagnosti
                 details=(("leaves", tuple(oob)),),
             ))
             continue
-        phase = route_phase(topology, messages)
+        phase = plan.route_phase(topology, step_no - 1)
         for ch, load in sorted(
             phase.channel_loads.items(),
             key=lambda kv: (kv[0].level, kv[0].index, kv[0].up),
@@ -81,14 +85,14 @@ def static_level_contention(
     schedule: Schedule, topology: TreeTopology
 ) -> dict[int, float]:
     """Worst per-level ``load/capacity`` over all phases, routed statically."""
+    plan = compile_schedule(schedule)
     worst: dict[int, float] = defaultdict(float)
-    for step in schedule.steps:
-        if not step.moves:
+    for i, cs in enumerate(plan.steps):
+        if not cs.has_moves:
             continue
-        messages, oob = _phase_messages(step.moves, topology.n_leaves)
-        if oob:
+        if _oob_leaves(cs, topology.n_leaves):
             continue
-        phase = route_phase(topology, messages)
+        phase = plan.route_phase(topology, i)
         for ch, load in phase.channel_loads.items():
             f = load / topology.capacity(ch.level)
             worst[ch.level] = max(worst[ch.level], f)

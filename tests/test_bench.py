@@ -54,9 +54,9 @@ class TestTiming:
 
 
 class TestScenarios:
-    def test_full_list_has_fifteen_quick_has_nine(self):
-        assert len(default_scenarios(quick=False)) == 15
-        assert len(default_scenarios(quick=True)) == 9
+    def test_full_list_has_seventeen_quick_has_eleven(self):
+        assert len(default_scenarios(quick=False)) == 17
+        assert len(default_scenarios(quick=True)) == 11
 
     def test_names_unique_and_stable(self):
         full = scenario_names(quick=False)
@@ -64,6 +64,8 @@ class TestScenarios:
         assert "svd/batched/fat_tree/n64" in full
         assert "block/gram/ring_new/n128b8" in full
         assert "block/reference/ring_new/n128b8" in full
+        assert "exec/serial/ring_new/n128b8" in full
+        assert "exec/threads/ring_new/n128b8" in full
         assert "parallel/hybrid/cm5/n64b4" in full
         assert "faults/recovery-overhead/n16" in full
         assert "lint/registry" in full
@@ -77,6 +79,12 @@ class TestScenarios:
             elif s.kind == "block-kernel" and s.params["kernel"] != "reference":
                 assert s.reference == (
                     f"block/reference/{s.params['ordering']}"
+                    f"/n{s.params['n']}b{s.params['block_size']}"
+                )
+            elif (s.kind == "svd-parallel-exec"
+                  and s.params["executor"] != "serial"):
+                assert s.reference == (
+                    f"exec/serial/{s.params['ordering']}"
                     f"/n{s.params['n']}b{s.params['block_size']}"
                 )
             else:
@@ -114,6 +122,21 @@ class TestScenarios:
         assert rec["meta"]["fault_events"] > 0
         assert rec["meta"]["model_overhead"] > 1.0
 
+    def test_run_exec_scenarios_bit_identical(self):
+        """The serial and threads exec scenarios are the same computation:
+        identical convergence trajectory, only wall time may differ."""
+        by_name = {s.name: s for s in default_scenarios(quick=True)}
+        recs = [run_scenario(by_name[f"exec/{e}/ring_new/n32b4"],
+                             repeats=1, warmup=0)
+                for e in ("serial", "threads")]
+        for rec in recs:
+            assert rec["kind"] == "svd-parallel-exec"
+            assert rec["meta"]["converged"] is True
+            assert rec["meta"]["executor"] in ("serial", "threads")
+        assert recs[0]["meta"]["sweeps"] == recs[1]["meta"]["sweeps"]
+        assert recs[0]["meta"]["rotations"] == recs[1]["meta"]["rotations"]
+        assert recs[1]["meta"]["workers"] == 2
+
     def test_run_block_parallel_scenario(self):
         by_name = {s.name: s for s in default_scenarios(quick=False)}
         rec = run_scenario(by_name["parallel/hybrid/cm5/n64b4"],
@@ -145,6 +168,13 @@ class TestReport:
         assert doc["schema"] == SCHEMA
         assert doc["python"] and doc["numpy"] and doc["platform"]
         assert doc["created_unix"] > 0
+        assert doc["cpu_count"] >= 1
+        assert doc["blas_threads"] is None  # not pinned by build_report
+
+    def test_build_records_pinned_blas_threads(self):
+        doc = build_report("t", [_record("a", 1.0)], repeats=1, warmup=0,
+                           blas_threads=1)
+        assert doc["blas_threads"] == 1
 
     def test_build_derives_speedup(self):
         records = [

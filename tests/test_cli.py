@@ -89,6 +89,28 @@ class TestCommands:
         assert rc == 2
         assert "positive" in capsys.readouterr().out
 
+    def test_svd_executor_without_block_size_is_usage_error(self, capsys):
+        rc = main(["svd", "--executor", "threads"])
+        assert rc == 2
+        assert "--block-size" in capsys.readouterr().out
+
+    def test_svd_workers_without_block_size_is_usage_error(self, capsys):
+        rc = main(["svd", "--workers", "2"])
+        assert rc == 2
+        assert "--block-size" in capsys.readouterr().out
+
+    def test_svd_nonpositive_workers_is_usage_error(self, capsys):
+        rc = main(["svd", "--block-size", "4", "--workers", "0"])
+        assert rc == 2
+        assert ">= 1" in capsys.readouterr().out
+
+    def test_svd_threads_executor_runs(self, capsys):
+        rc = main(["svd", "--m", "40", "--n", "32", "--serial",
+                   "--block-size", "4", "--executor", "threads",
+                   "--workers", "2"])
+        assert rc == 0
+        assert "converged=True" in capsys.readouterr().out
+
 
 def _bench(tmp_path, *extra):
     """Run the cheapest scenario subset into tmp_path; returns exit code."""
@@ -141,6 +163,33 @@ class TestBenchCommand:
                     str(FIXTURES / "bench_baseline_fast.json"))
         assert rc == 1
         assert "PERF REGRESSION" in capsys.readouterr().out
+
+    def test_filter_selects_matching_scenarios(self, tmp_path, capsys):
+        rc = main(["bench", "--quick", "--repeats", "1", "--warmup", "0",
+                   "--out", str(tmp_path), "--json", "--filter", "^lint/"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [s["name"] for s in doc["scenarios"]] == ["lint/registry"]
+
+    def test_filter_composes_with_scenario(self, tmp_path, capsys):
+        # --filter narrows the list --scenario then picks from
+        rc = main(["bench", "--quick", "--repeats", "1", "--warmup", "0",
+                   "--out", str(tmp_path), "--filter", "registry",
+                   "--scenario", "lint/registry", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [s["name"] for s in doc["scenarios"]] == ["lint/registry"]
+
+    def test_filter_without_match_is_usage_error(self, tmp_path, capsys):
+        rc = main(["bench", "--out", str(tmp_path),
+                   "--filter", "no-such-scenario-anywhere"])
+        assert rc == 2
+        assert "matches no scenario" in capsys.readouterr().out
+
+    def test_invalid_filter_regex_is_usage_error(self, tmp_path, capsys):
+        rc = main(["bench", "--out", str(tmp_path), "--filter", "(["])
+        assert rc == 2
+        assert "invalid --filter regex" in capsys.readouterr().out
 
     def test_unknown_scenario_is_usage_error(self, tmp_path, capsys):
         rc = main(["bench", "--out", str(tmp_path),

@@ -1,0 +1,199 @@
+"""Unit tests for compiled schedule plans (:mod:`repro.orderings.plan`)."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.orderings import make_ordering
+from repro.orderings.plan import (
+    clear_plan_cache,
+    compile_schedule,
+    plan_cache_stats,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    """Every test observes the cache from a clean slate."""
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+class TestLowering:
+    @pytest.mark.parametrize("name", ["fat_tree", "ring_new", "hybrid", "llb"])
+    @pytest.mark.parametrize("n", [8, 16])
+    def test_steps_match_the_schedule(self, name, n):
+        sched = make_ordering(name, n).sweep(0)
+        plan = compile_schedule(sched)
+        assert plan.n == n and plan.name == sched.name
+        assert plan.n_steps == sched.n_steps
+        for cs, step in zip(plan.steps, sched.steps):
+            assert cs.n_pairs == len(step.pairs)
+            if step.pairs:
+                assert cs.pairs.tolist() == [list(p) for p in step.pairs]
+                np.testing.assert_array_equal(cs.a, cs.pairs[:, 0])
+                np.testing.assert_array_equal(cs.b, cs.pairs[:, 1])
+                np.testing.assert_array_equal(cs.pair_leaves, cs.a >> 1)
+            assert cs.has_moves == bool(step.moves)
+            assert cs.src.tolist() == [m.src for m in step.moves]
+            assert cs.dst.tolist() == [m.dst for m in step.moves]
+            assert cs.moves == step.moves
+            assert cs.move_levels.tolist() == [m.level for m in step.moves]
+            assert cs.n_remote == sum(1 for m in step.moves if not m.is_local)
+            assert cs.hop_count == 2 * sum(m.level for m in step.moves)
+
+    @pytest.mark.parametrize("name", ["fat_tree", "ring_new", "hybrid"])
+    def test_trajectory_matches_schedule_trace(self, name):
+        sched = make_ordering(name, 16).sweep(0)
+        plan = compile_schedule(sched)
+        layout = list(range(16))
+        for k, (_, _, layout) in enumerate(sched.trace(layout)):
+            assert plan.trajectory[k].tolist() == layout
+        assert plan.final_layout().tolist() == \
+            sched.final_layout(list(range(16)))
+
+    def test_total_messages_matches_schedule(self):
+        sched = make_ordering("hybrid", 16).sweep(0)
+        assert compile_schedule(sched).total_messages == \
+            sched.total_messages()
+
+    def test_trajectory_is_read_only(self):
+        plan = compile_schedule(make_ordering("ring_new", 8).sweep(0))
+        with pytest.raises(ValueError):
+            plan.trajectory[0, 0] = 99
+
+    def test_empty_phases_are_zero_length_arrays(self):
+        plan = compile_schedule(make_ordering("fat_tree", 8).sweep(0))
+        for cs in plan.steps:
+            # never None: consumers index unconditionally
+            assert cs.src.ndim == 1 and cs.dst.ndim == 1
+            assert cs.pairs.ndim == 2 and cs.pairs.shape[1] == 2
+
+
+class TestRouteMemo:
+    def test_same_phase_object_returned(self):
+        from repro.machine.topology import make_topology
+
+        plan = compile_schedule(make_ordering("hybrid", 16).sweep(0))
+        topo = make_topology("cm5", 8)
+        k = next(i for i, cs in enumerate(plan.steps) if cs.n_remote)
+        assert plan.route_phase(topo, k) is plan.route_phase(topo, k)
+
+    def test_memoised_routing_equals_direct_routing(self):
+        from repro.machine.routing import route_phase
+        from repro.machine.topology import make_topology
+
+        plan = compile_schedule(make_ordering("ring_new", 16).sweep(0))
+        topo = make_topology("binary", 8)
+        for i, cs in enumerate(plan.steps):
+            if not cs.has_moves:
+                continue
+            direct = route_phase(
+                topo, [(int(s), int(d)) for s, d in cs.move_leaves])
+            assert plan.route_phase(topo, i).channel_loads == \
+                direct.channel_loads
+
+    def test_distinct_topologies_memoised_separately(self):
+        from repro.machine.topology import make_topology
+
+        plan = compile_schedule(make_ordering("ring_new", 16).sweep(0))
+        k = next(i for i, cs in enumerate(plan.steps) if cs.n_remote)
+        p_bin = plan.route_phase(make_topology("binary", 8), k)
+        p_cm5 = plan.route_phase(make_topology("cm5", 8), k)
+        assert p_bin is not p_cm5
+
+
+class TestCache:
+    def test_same_instance_hits_the_instance_memo(self):
+        sched = make_ordering("fat_tree", 8).sweep(0)
+        p1 = compile_schedule(sched)
+        p2 = compile_schedule(sched)
+        assert p1 is p2
+        stats = plan_cache_stats()
+        assert stats.misses == 1
+        assert stats.instance_hits == 1
+
+    def test_structural_twins_share_one_plan(self):
+        # fresh Ordering objects build fresh Schedule objects of
+        # identical structure — the LRU must unify them
+        p1 = compile_schedule(make_ordering("ring_new", 16).sweep(0))
+        p2 = compile_schedule(make_ordering("ring_new", 16).sweep(0))
+        assert p1 is p2
+        stats = plan_cache_stats()
+        assert stats.misses == 1 and stats.hits == 1
+
+    def test_different_structures_do_not_collide(self):
+        p1 = compile_schedule(make_ordering("ring_new", 8).sweep(0))
+        p2 = compile_schedule(make_ordering("fat_tree", 8).sweep(0))
+        assert p1 is not p2
+        assert plan_cache_stats().misses == 2
+
+    def test_clear_resets_counters_and_entries(self):
+        compile_schedule(make_ordering("ring_new", 8).sweep(0))
+        clear_plan_cache()
+        stats = plan_cache_stats()
+        assert (stats.hits, stats.misses, stats.instance_hits, stats.size) \
+            == (0, 0, 0, 0)
+
+    def test_ten_sweep_run_lowers_exactly_once(self):
+        """The regression the plan layer exists for: a 10-sweep driver
+        run compiles one plan per distinct sweep structure, not one per
+        sweep (fat_tree has order 1: a single structure)."""
+        from repro.svd import JacobiOptions, jacobi_svd
+        from repro.util.errors import ConvergenceWarning
+
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((24, 16))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            r = jacobi_svd(a, ordering="fat_tree",
+                           options=JacobiOptions(max_sweeps=10, tol=1e-300))
+        assert r.sweeps == 10
+        assert plan_cache_stats().compilations == 1
+
+    def test_ten_sweep_machine_run_lowers_exactly_once(self):
+        from repro.parallel.driver import ParallelJacobiSVD
+        from repro.svd import JacobiOptions
+        from repro.util.errors import ConvergenceWarning
+
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((24, 16))
+        driver = ParallelJacobiSVD(
+            topology="perfect", ordering="fat_tree",
+            options=JacobiOptions(max_sweeps=10, tol=1e-300))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            r, _ = driver.compute(a)
+        assert r.sweeps == 10
+        assert plan_cache_stats().compilations == 1
+
+
+class TestConsumers:
+    def test_permutation_of_sweep_reads_the_plan(self):
+        from repro.orderings import permutation_of_sweep
+
+        sched = make_ordering("ring_new", 16).sweep(0)
+        perm = permutation_of_sweep(sched)
+        assert isinstance(perm, list)
+        assert sorted(perm) == list(range(16))
+        assert plan_cache_stats().misses == 1
+
+    def test_verify_and_simulator_share_the_plan(self):
+        """Linting a schedule then simulating it must not recompile."""
+        from repro.machine.costmodel import CostModel
+        from repro.machine.simulator import TreeMachine
+        from repro.machine.topology import make_topology
+        from repro.verify.capacity import check_capacity
+
+        ordering = make_ordering("hybrid", 16)
+        sched = ordering.sweep(0)
+        topo = make_topology("cm5", 8)
+        assert check_capacity(sched, topo) == []
+        before = plan_cache_stats().misses
+        machine = TreeMachine(topo, CostModel())
+        rng = np.random.default_rng(3)
+        machine.load(rng.standard_normal((24, 16)))
+        machine.run_sweep(sched, tol=1e-12, sort=None, sweep_index=0)
+        assert plan_cache_stats().misses == before
