@@ -6,10 +6,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-tools lint-schedules bench bench-check bench-figures faults
+.PHONY: test test-sanitized lint lint-tools lint-schedules analyze bench bench-check bench-figures faults
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# the whole suite with the runtime sanitizer armed: every block run
+# cross-checks its write records and numeric canaries; zero SAN
+# diagnostics is part of the contract
+test-sanitized:
+	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q
 
 lint: lint-tools lint-schedules
 
@@ -33,6 +39,15 @@ lint-schedules:
 	$(PYTHON) -m repro.cli lint --ordering fat_tree --ordering hybrid --topology perfect
 	$(PYTHON) -m repro.cli lint --ordering hybrid --topology cm5
 	$(PYTHON) -m repro.cli lint --ordering ring_new --ordering ring_modified --topology binary
+
+# the execution-layer gate, one level below lint-schedules: compiled
+# plans re-elaborated against their source schedules, executor
+# chunkings proved race-free and merge-deterministic for every kernel x
+# worker count, single-leaf degradation proved total, fallback chains
+# proved well-formed
+analyze:
+	$(PYTHON) -m repro.cli analyze
+	$(PYTHON) -m repro.cli analyze --topology none --workers 3
 
 # the perf-regression harness: timed scenarios (reference vs batched
 # scalar kernels, gram vs reference block kernels, parallel simulator at

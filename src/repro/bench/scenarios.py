@@ -22,6 +22,15 @@ protected:
                      GIL-releasing GEMM phases);
 ``lint``             latency of the static schedule verifier over the
                      ordering registry;
+``analyze``          latency of the execution-layer analysis gate
+                     (:func:`~repro.verify.analyze_registry`: compiled
+                     plans, executor chunkings, fault-tolerance
+                     totality) — the cost CI pays per ``analyze
+                     --quick``;
+``sanitize-overhead`` one gram-kernel block run with the runtime
+                     sanitizer armed, against its sanitizer-off twin —
+                     the per-run price of the write-set records and
+                     numeric canaries;
 ``faults-recovery``  one faulted parallel run (crash + silent
                      corruption, checkpoint/rollback/remap recovery)
                      against its fault-free twin — the simulator-side
@@ -55,7 +64,7 @@ class Scenario:
     """One named, self-contained timing target."""
 
     name: str
-    kind: str  # "svd-kernel" | "block-kernel" | "parallel-sweeps" | "lint"
+    kind: str  # one of the workload kinds in the module docstring
     params: dict[str, Any] = field(default_factory=dict)
     #: name of the baseline scenario this one is reported as a speedup
     #: against (the batched kernel points at its reference twin)
@@ -95,16 +104,32 @@ def _exec_scenario(executor: str, n: int, b: int, workers: int) -> Scenario:
     )
 
 
+def _sanitize_scenario(sanitize: bool, executor: str, n: int,
+                       b: int) -> Scenario:
+    switch = "on" if sanitize else "off"
+    ref = f"sanitize/off/{executor}/n{n}b{b}" if sanitize else None
+    return Scenario(
+        name=f"sanitize/{switch}/{executor}/n{n}b{b}",
+        kind="sanitize-overhead",
+        params={"sanitize": sanitize, "executor": executor,
+                "ordering": "ring_new", "n": n, "m": n + 16,
+                "block_size": b,
+                "workers": 2 if executor == "threads" else 1},
+        reference=ref,
+    )
+
+
 def default_scenarios(quick: bool = False) -> list[Scenario]:
     """The shipped scenario list.
 
     Full mode: scalar kernels x {fat_tree, ring_new} x n in {32, 64},
     the block kernels (gram vs reference vs batched at n=128, b=8), the
     step-executor pair (serial vs threads on the same block run), the
+    sanitizer-overhead pairs (off vs on, serial and threads), the
     parallel simulator at scalar and block granularity, the
-    fault-recovery overhead run, and the lint gate (17 scenarios).
-    ``quick`` mode shrinks every size for CI smoke runs (11 scenarios)
-    while keeping the same name structure.
+    fault-recovery overhead run, and the lint and analyze gates
+    (22 scenarios).  ``quick`` mode shrinks every size for CI smoke
+    runs (14 scenarios) while keeping the same name structure.
     """
     sizes = (16,) if quick else (32, 64)
     out = []
@@ -125,6 +150,12 @@ def default_scenarios(quick: bool = False) -> list[Scenario]:
     en, eb = (32, 4) if quick else (128, 8)
     for executor in ("serial", "threads"):
         out.append(_exec_scenario(executor, en, eb, workers=2))
+    # the sanitizer-overhead pair(s): the same gram block run with the
+    # runtime sanitizer off and on — the "on" scenario reports its
+    # overhead against the off twin
+    for executor in (("serial",) if quick else ("serial", "threads")):
+        for sanitize in (False, True):
+            out.append(_sanitize_scenario(sanitize, executor, en, eb))
     pn = 8 if quick else 32
     out.append(
         Scenario(
@@ -156,6 +187,14 @@ def default_scenarios(quick: bool = False) -> list[Scenario]:
             name="lint/registry",
             kind="lint",
             params={"sizes": [8] if quick else [8, 16]},
+        )
+    )
+    out.append(
+        Scenario(
+            name="analyze/registry",
+            kind="analyze",
+            params={"sizes": [8] if quick else [8, 16],
+                    "workers": [1, 2]},
         )
     )
     return out
@@ -228,6 +267,29 @@ def run_scenario(
                 workers=p["workers"],
             )
 
+    elif scenario.kind == "sanitize-overhead":
+        from ..blockjacobi import BlockJacobiOptions, block_jacobi_svd
+        from ..orderings import make_ordering
+
+        rng = np.random.default_rng(_SEED)
+        a = rng.standard_normal((p["m"], p["n"]))
+        ordering = make_ordering(p["ordering"], p["n"] // p["block_size"])
+        options = BlockJacobiOptions(block_size=p["block_size"],
+                                     kernel="gram",
+                                     executor=p["executor"],
+                                     workers=p["workers"],
+                                     sanitize=p["sanitize"])
+
+        def work() -> None:
+            r = block_jacobi_svd(a, ordering=ordering, options=options)
+            meta.update(
+                sweeps=r.sweeps,
+                rotations=r.rotations,
+                converged=bool(r.converged),
+                sanitize=p["sanitize"],
+                executor=p["executor"],
+            )
+
     elif scenario.kind == "parallel-sweeps":
         from ..parallel.driver import ParallelJacobiSVD
 
@@ -289,6 +351,16 @@ def run_scenario(
 
         def work() -> None:
             reports = lint_registry(sizes=sizes)
+            meta.update(targets=len(reports), clean=all(r.ok for r in reports))
+
+    elif scenario.kind == "analyze":
+        from ..verify import analyze_registry
+
+        sizes = tuple(p["sizes"])
+        workers = tuple(p["workers"])
+
+        def work() -> None:
+            reports = analyze_registry(sizes=sizes, workers=workers)
             meta.update(targets=len(reports), clean=all(r.ok for r in reports))
 
     else:

@@ -71,6 +71,12 @@ class BlockJacobiOptions:
     ``workers``
         Worker threads of the ``threads`` backend; ``None`` resolves
         from ``$REPRO_WORKERS`` (default: CPU count).
+    ``sanitize``
+        Arm the runtime sanitizer (:mod:`repro.verify.sanitize`):
+        per-step write-set records cross-checked against the static
+        chunking, plus sweep-boundary numeric canaries.  ``None``
+        resolves from ``$REPRO_SANITIZE`` (default off); a violation
+        raises :class:`~repro.verify.sanitize.SanitizerError`.
     """
 
     block_size: int = 4
@@ -81,6 +87,7 @@ class BlockJacobiOptions:
     kernel: str = "gram"
     executor: str | None = None
     workers: int | None = None
+    sanitize: bool | None = None
 
     def __post_init__(self) -> None:
         from ..parallel.executor import EXECUTORS
@@ -108,6 +115,13 @@ class BlockJacobiOptions:
         from ..parallel.executor import resolve_executor
 
         return resolve_executor(self.executor, self.workers)
+
+    def make_sanitizer(self):
+        """Build the run's :class:`~repro.verify.sanitize.RuntimeSanitizer`,
+        or ``None`` when sanitizing is off (option, else env)."""
+        from ..verify.sanitize import RuntimeSanitizer, sanitize_enabled
+
+        return RuntimeSanitizer() if sanitize_enabled(self.sanitize) else None
 
 
 def block_jacobi_svd(
@@ -146,6 +160,10 @@ def block_jacobi_svd(
     converged = False
     sweeps = 0
     executor = opts.make_executor()
+    sanitizer = opts.make_sanitizer()
+    if sanitizer is not None:
+        executor.sanitizer = sanitizer
+        sanitizer.arm_reference(X)
     try:
         for sweep in range(opts.max_sweeps):
             plan = compile_schedule(ord_obj.sweep(sweep))
@@ -156,7 +174,8 @@ def block_jacobi_svd(
                     pair_cols = block_cols[cs.pairs].reshape(cs.n_pairs, 2 * b)
                     st, mx = solve_block_step(X, V, pair_cols, opts.tol,
                                               opts.sort, opts.inner_sweeps,
-                                              opts.kernel, executor=executor)
+                                              opts.kernel, executor=executor,
+                                              sanitizer=sanitizer)
                     worst = max(worst, mx)
                     rotations += st.applied
                 if cs.has_moves:
@@ -164,6 +183,8 @@ def block_jacobi_svd(
                     # the move phase keeps its snapshot semantics
                     block_cols[cs.dst] = block_cols[cs.src]
             sweeps = sweep + 1
+            if sanitizer is not None:
+                sanitizer.check_sweep(X, V, sweep=sweeps)
             history.append(
                 SweepRecord(
                     sweep=sweeps,

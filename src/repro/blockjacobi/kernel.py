@@ -57,11 +57,26 @@ from ..svd.rotations import (
 from ..util.errors import NumericalBreakdown
 from ..util.validation import require
 
-__all__ = ["BLOCK_KERNELS", "FALLBACK_CHAINS", "GRAM_NOISE",
+__all__ = ["BLOCK_KERNELS", "FALLBACK_CHAINS", "GRAM_NOISE", "KERNEL_STAGES",
            "solve_block_pair", "solve_block_step"]
 
 #: registered block-pair kernels; ``gram`` is the BLAS-3 fast path
 BLOCK_KERNELS = ("reference", "batched", "gram")
+
+#: declarative stage structure of each kernel under the step executor:
+#: ``(stage name, splittable)`` in execution order.  A splittable stage
+#: may be chunked over its batch/pair dimension (every chunk writes a
+#: disjoint slice); an unsplittable stage must run as one full-stack
+#: call — the gram kernel's inner Jacobi couples matrices across the
+#: batch through its convergence floor, so splitting it would change
+#: the rotation sequence and break the bit-identity contract.  The
+#: static executor-plan analyzer (:mod:`repro.verify.executor_plan`)
+#: proves each stage's chunking against this table (rule ``EXEC002``).
+KERNEL_STAGES: dict[str, tuple[tuple[str, bool], ...]] = {
+    "reference": (("pair-solve", True),),
+    "batched": (("pair-solve", True),),
+    "gram": (("gram-form", True), ("gram-solve", False), ("gram-apply", True)),
+}
 
 #: per-kernel fallback chain on :class:`NumericalBreakdown`: when a
 #: solver's Gram quantities go non-finite, the affected block pairs are
@@ -120,6 +135,7 @@ def solve_block_step(
     inner_sweeps: int,
     kernel: str = "gram",
     executor=None,
+    sanitizer=None,
 ) -> tuple[RotationStats, float]:
     """Solve every met block pair of one schedule step.
 
@@ -145,6 +161,12 @@ def solve_block_step(
     :data:`FALLBACK_CHAINS` (``stats.fallbacks`` counts the downgrades).
     The stacked solvers only raise *before* touching ``X``/``V``, so the
     per-pair retry starts from unmodified data.
+
+    ``sanitizer`` (a :class:`~repro.verify.sanitize.RuntimeSanitizer`)
+    opens a write-set record for the step: the solvers report the column
+    sets they actually scatter into, and the record is cross-checked
+    against the per-pair column sets when the step closes (rule
+    ``SAN001``).
     """
     require(sort in _SORT_MODES, f"sort must be one of {_SORT_MODES}, got {sort!r}")
     if len(pair_cols) == 0:
@@ -152,10 +174,40 @@ def solve_block_step(
     require(kernel in BLOCK_KERNELS,
             f"unknown block kernel {kernel!r}; "
             f"available: {', '.join(BLOCK_KERNELS)}")
+    if sanitizer is None:
+        return _solve_step_body(X, V, pair_cols, tol, sort, inner_sweeps,
+                                kernel, executor, None)
+    expected = [frozenset(int(c) for c in pair_cols[i])
+                for i in range(len(pair_cols))]
+    workers = 1 if executor is None else executor.workers
+    sanitizer.begin_step(len(pair_cols), expected, workers=workers)
+    try:
+        out = _solve_step_body(X, V, pair_cols, tol, sort, inner_sweeps,
+                               kernel, executor, sanitizer)
+    except BaseException:
+        # the step never completed; its write-set record is meaningless
+        sanitizer.abort_step()
+        raise
+    sanitizer.end_step()
+    return out
+
+
+def _solve_step_body(
+    X: np.ndarray,
+    V: np.ndarray | None,
+    pair_cols: "list[np.ndarray] | np.ndarray",
+    tol: float,
+    sort: str | None,
+    inner_sweeps: int,
+    kernel: str,
+    executor,
+    sanitizer,
+) -> tuple[RotationStats, float]:
+    """The dispatch body of :func:`solve_block_step` (validated input)."""
     if kernel == "gram":
         try:
             return _solve_gram_many(X, V, pair_cols, tol, sort, inner_sweeps,
-                                    executor)
+                                    executor, sanitizer)
         except NumericalBreakdown:
             pass  # isolate the poisoned pairs via the per-pair chain
     chain = FALLBACK_CHAINS[kernel]
@@ -168,6 +220,11 @@ def solve_block_step(
                                        inner_sweeps, chain)
             stats.merge(st)
             worst = max(worst, mx)
+        if sanitizer is not None:
+            # the per-pair solvers rewrite every column of their pairs
+            sanitizer.record_touch(
+                lo, hi, np.concatenate([np.asarray(pair_cols[i])
+                                        for i in range(lo, hi)]))
         return stats, worst
 
     if executor is None or executor.workers == 1:
@@ -357,6 +414,7 @@ def _apply_sort_only(
     d: np.ndarray,
     sort: str | None,
     stats: RotationStats,
+    sanitizer=None,
 ) -> None:
     """Apply the norm-ordering convention to already-orthogonal blocks."""
     srcs = []
@@ -377,6 +435,8 @@ def _apply_sort_only(
         X[:, tgt] = X[:, src]
         if V is not None:
             V[:, tgt] = V[:, src]
+        if sanitizer is not None:
+            sanitizer.record_touch(0, len(pair_cols), tgt)
 
 
 def _solve_gram_many(
@@ -387,6 +447,7 @@ def _solve_gram_many(
     sort: str | None,
     inner_sweeps: int,
     executor=None,
+    sanitizer=None,
 ) -> tuple[RotationStats, float]:
     """BLAS-3 Gram-space solve of a whole step's met pairs at once.
 
@@ -449,7 +510,7 @@ def _solve_gram_many(
     worst = float(rel.max(initial=0.0))
     if worst <= tol:
         # already orthogonal: only the norm-ordering convention may act
-        _apply_sort_only(X, V, pair_cols, d, sort, stats)
+        _apply_sort_only(X, V, pair_cols, d, sort, stats, sanitizer)
         return stats, worst
     W, rotations, _, _ = gram_eigh_batched(G, tol=tol,
                                            max_sweeps=inner_sweeps,
@@ -479,6 +540,8 @@ def _solve_gram_many(
             Vs = VT[cols_arr[lo:hi].reshape(-1)].reshape(hi - lo, k, n)
             vout = W[lo:hi].transpose(0, 2, 1) @ Vs
             V[:, tgt] = vout.reshape((hi - lo) * k, n).T
+        if sanitizer is not None:
+            sanitizer.record_touch(lo, hi, tgt)
 
     if chunked:
         executor.run_chunks(nb, apply_scatter)

@@ -11,6 +11,10 @@ Subcommands
                                  run one decomposition and report telemetry
 ``lint [--ordering O ...] [--n N ...] [--topology T] [--json]``
                                  statically verify schedules (exit 1 on findings)
+``analyze [--ordering O ...] [--n N ...] [--workers W ...] [--quick] [--json]``
+                                 statically verify the execution layer: compiled
+                                 plans, executor chunkings, fault-tolerance
+                                 totality (exit 1 on findings)
 ``bench [--tag T] [--compare OLD.json] [--quick] [--json]``
                                  run the timing harness, write BENCH_<tag>.json
                                  (exit 1 on perf regression vs --compare)
@@ -71,6 +75,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=None, metavar="W",
                      help="worker threads of --executor threads "
                           "(default: $REPRO_WORKERS or the CPU count)")
+    run.add_argument("--sanitize", action="store_true",
+                     help="arm the runtime sanitizer (write-set records + "
+                          "sweep-boundary numeric canaries; needs "
+                          "--block-size, incompatible with --fault)")
     run.add_argument("--max-sweeps", type=int, default=None, metavar="S",
                      help="outer sweep budget (exit 1 if exhausted without "
                           "convergence)")
@@ -106,6 +114,32 @@ def build_parser() -> argparse.ArgumentParser:
                            "topology (default: structural checks only)")
     lint.add_argument("--json", action="store_true",
                       help="emit a machine-readable JSON report")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="statically verify the execution layer: compiled-plan "
+             "integrity, executor chunking races/determinism, and "
+             "fault-tolerance totality for every registered ordering",
+    )
+    analyze.add_argument("--ordering", action="append", default=None,
+                         metavar="NAME", dest="orderings",
+                         help="ordering to analyze (repeatable; "
+                              "default: all registered)")
+    analyze.add_argument("--n", action="append", type=int, default=None,
+                         metavar="N", dest="sizes",
+                         help="problem size to analyze at (repeatable; "
+                              "default: 8 16 32)")
+    analyze.add_argument("--workers", action="append", type=int, default=None,
+                         metavar="W", dest="workers",
+                         help="executor worker count to prove the chunking "
+                              "for (repeatable; default: 1 2 4)")
+    analyze.add_argument("--topology", default="perfect",
+                         help="machine for the fault-tolerance totality "
+                              "pass (default: perfect; 'none' disables it)")
+    analyze.add_argument("--quick", action="store_true",
+                         help="CI smoke matrix: n=8, workers 1 2")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit a machine-readable JSON report")
 
     bench = sub.add_parser(
         "bench",
@@ -288,8 +322,22 @@ def _svd(args: argparse.Namespace) -> int:
     if args.max_sweeps is not None and args.max_sweeps < 1:
         print("--max-sweeps must be >= 1")
         return 2
+    if args.sanitize and args.block_size is None:
+        print("--sanitize applies to block mode; pass --block-size B")
+        return 2
+    if args.sanitize and args.fault is not None:
+        print("--sanitize is for healthy runs; fault-injected runs use "
+              "the recovery machinery's own detectors")
+        return 2
     options = None
-    if args.max_sweeps is not None:
+    if args.sanitize:
+        from repro.blockjacobi import BlockJacobiOptions
+
+        options = BlockJacobiOptions(
+            block_size=args.block_size, sanitize=True,
+            **({"max_sweeps": args.max_sweeps}
+               if args.max_sweeps is not None else {}))
+    elif args.max_sweeps is not None:
         from repro.svd import JacobiOptions
 
         options = JacobiOptions(max_sweeps=args.max_sweeps)
@@ -445,6 +493,50 @@ def main(argv: list[str] | None = None) -> int:
         if args.json:
             print(json.dumps(
                 {"ok": ok, "topology": args.topology,
+                 "reports": [r.to_dict() for r in reports]},
+                indent=2, default=str,
+            ))
+        else:
+            for r in reports:
+                print(r.render())
+            n_err = sum(len(r.errors) for r in reports)
+            n_warn = sum(len(r.warnings) for r in reports)
+            print(f"{len(reports)} target(s): "
+                  f"{'all clean' if ok else f'{n_err} error(s)'}, "
+                  f"{n_warn} warning(s)")
+        return 0 if ok else 1
+
+    if args.command == "analyze":
+        import json
+
+        from repro.machine.topology import TOPOLOGIES
+        from repro.orderings import ordering_names
+        from repro.verify import ANALYZE_WORKERS, DEFAULT_SIZES, analyze_registry
+
+        topology = None if args.topology == "none" else args.topology
+        if topology is not None and topology not in TOPOLOGIES:
+            print(f"unknown topology {topology!r}; "
+                  f"available: {', '.join(sorted(TOPOLOGIES))} (or 'none')")
+            return 2
+        unknown = set(args.orderings or []) - set(ordering_names())
+        if unknown:
+            print(f"unknown ordering(s) {sorted(unknown)}; "
+                  f"available: {', '.join(ordering_names())}")
+            return 2
+        if args.workers and any(w < 1 for w in args.workers):
+            print("--workers must be >= 1")
+            return 2
+        reports = analyze_registry(
+            names=args.orderings,
+            sizes=tuple(args.sizes) if args.sizes else DEFAULT_SIZES,
+            topology=topology,
+            workers=tuple(args.workers) if args.workers else ANALYZE_WORKERS,
+            quick=args.quick,
+        )
+        ok = all(r.ok for r in reports)
+        if args.json:
+            print(json.dumps(
+                {"ok": ok, "topology": topology, "quick": args.quick,
                  "reports": [r.to_dict() for r in reports]},
                 indent=2, default=str,
             ))

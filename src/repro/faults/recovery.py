@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from ..machine.routing import remap_leaves, route_phase
 from ..util.bits import leaf_of_slot
 
@@ -29,7 +31,37 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..machine.simulator import TreeMachine
     from ..orderings.schedule import Schedule
 
-__all__ = ["DegradedReport", "validate_degraded"]
+__all__ = ["DegradedReport", "host_map_problems", "validate_degraded"]
+
+
+def host_map_problems(host_of_leaf, dead_leaves) -> list[str]:
+    """Structural soundness of a degraded host map; empty when sound.
+
+    ``host_of_leaf[lf]`` is the physical leaf executing logical leaf
+    ``lf``; ``dead_leaves`` the crashed set.  A sound map keeps every
+    host inside the machine, never hosts work on a dead leaf, and never
+    moves a *live* leaf off itself (graceful degradation only rehosts
+    leaves whose host died).  The verifier's fault-tolerance totality
+    pass (``FT001``) runs this over every possible single-leaf death.
+    """
+    hosts = np.asarray(host_of_leaf)
+    n = len(hosts)
+    dead = {int(d) for d in dead_leaves}
+    problems: list[str] = []
+    for leaf in range(n):
+        host = int(hosts[leaf])
+        if not 0 <= host < n:
+            problems.append(
+                f"leaf {leaf} hosted outside the machine (host {host})")
+            continue
+        if host in dead:
+            problems.append(
+                f"leaf {leaf}'s columns are hosted on dead leaf {host}")
+        if leaf not in dead and host != leaf:
+            problems.append(
+                f"live leaf {leaf} was rehosted on leaf {host} "
+                "(only dead leaves' work may move)")
+    return problems
 
 
 @dataclass
@@ -56,6 +88,9 @@ def validate_degraded(machine: "TreeMachine",
 
     report = lint_schedule(schedule, machine.topology)
     notes = [f"{d.rule}: {d.message}" for d in report.errors]
+    map_problems = host_map_problems(machine.host_of_leaf,
+                                     machine.dead_leaves)
+    notes.extend(f"host map: {p}" for p in map_problems)
     # RACE002/CAP* style findings were proven on the healthy map; what
     # degradation actually changes is the physical routing below.
     worst = 0.0
@@ -74,5 +109,6 @@ def validate_degraded(machine: "TreeMachine",
         notes.append(
             f"remapped routing oversubscribes a channel ({worst:.2f}x); "
             "accepted in degraded mode (liveness over contention-freeness)")
-    return DegradedReport(ok=report.ok, max_contention=worst,
+    return DegradedReport(ok=report.ok and not map_problems,
+                          max_contention=worst,
                           dead_leaves=dead, notes=notes)

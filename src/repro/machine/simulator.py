@@ -69,6 +69,8 @@ class TreeMachine:
         self._WT: np.ndarray | None = None
         # step executor for the block-mode local solves (None = serial)
         self._executor = None
+        # runtime sanitizer for the block-mode local solves (None = off)
+        self._sanitizer = None
         # fault-mode state: injector + reliable transport, and the
         # degraded host map (logical leaf -> physical leaf)
         self.injector = None
@@ -88,7 +90,7 @@ class TreeMachine:
 
     def load(self, a: np.ndarray, compute_v: bool = True,
              kernel: str = "reference", block_size: int | None = None,
-             inner_sweeps: int = 2, executor=None) -> None:
+             inner_sweeps: int = 2, executor=None, sanitizer=None) -> None:
         """Distribute the columns of ``a`` over the leaves.
 
         Scalar mode (``block_size=None``): slot ``i`` holds column ``i``,
@@ -100,6 +102,9 @@ class TreeMachine:
         :class:`~repro.parallel.executor.StepExecutor`) runs each step's
         independent block solves across worker threads; results are
         bit-identical to serial, the caller owns (and closes) it.
+        ``sanitizer`` (a :class:`~repro.verify.sanitize.RuntimeSanitizer`)
+        arms runtime write-set records on every block step; the driver
+        owns it and runs the sweep-boundary canaries itself.
         """
         if block_size is None:
             from ..svd.hestenes import KERNELS
@@ -131,6 +136,9 @@ class TreeMachine:
         self.labels = np.arange(self.n_slots, dtype=np.intp)
         self.kernel = kernel
         self._executor = executor
+        self._sanitizer = sanitizer
+        if executor is not None and sanitizer is not None:
+            executor.sanitizer = sanitizer
         self._WT = None
         if block_size is not None:
             self.block_cols = np.arange(
@@ -446,7 +454,8 @@ class TreeMachine:
                 pair_cols = block_cols[cs.pairs].reshape(cs.n_pairs, 2 * b)
                 st, mx = solve_block_step(X, V, pair_cols, tol, sort,
                                           self.inner_sweeps, self.kernel,
-                                          executor=self._executor)
+                                          executor=self._executor,
+                                          sanitizer=self._sanitizer)
                 rstats.merge(st)
                 worst = max(worst, mx)
                 # block granularity: one "rotation" per met block pair

@@ -39,10 +39,14 @@ from .schedule import Move, Schedule
 __all__ = [
     "CompiledSchedule",
     "CompiledStep",
+    "PLAN_MEMO_ATTR",
     "PlanCacheStats",
     "clear_plan_cache",
     "compile_schedule",
+    "lower_schedule",
     "plan_cache_stats",
+    "plans_structurally_equal",
+    "structural_fingerprint",
 ]
 
 #: compiled plans kept by the process-wide LRU (a plan is a few KB; the
@@ -196,6 +200,11 @@ _lock = Lock()
 # the Schedule class itself
 _ATTR = "_compiled_plan"
 
+#: public name of the instance-memo attribute — the verifier's
+#: corruption operators plant stale plans under it to prove the
+#: plan-cache check (PLAN003) actually detects them
+PLAN_MEMO_ATTR = _ATTR
+
 
 def _fingerprint(schedule: Schedule) -> tuple:
     """Structural cache key: sizes plus every pair and move of the sweep.
@@ -299,6 +308,45 @@ def compile_schedule(schedule: Schedule) -> CompiledSchedule:
         _stats.size = len(_cache)
     schedule.__dict__[_ATTR] = plan
     return plan
+
+
+def structural_fingerprint(schedule: Schedule) -> tuple:
+    """Public view of the plan cache key of ``schedule``.
+
+    The verifier's plan-integrity pass (:mod:`repro.verify.plancheck`)
+    uses it to prove that two schedules sharing one cached plan really
+    are structurally identical, without reaching into cache internals.
+    """
+    return _fingerprint(schedule)
+
+
+def lower_schedule(schedule: Schedule) -> CompiledSchedule:
+    """Lower ``schedule`` afresh, bypassing every cache layer.
+
+    The result is never stored: no LRU entry, no instance memo, no
+    counter movement.  This is the independent re-elaboration oracle the
+    plan-integrity pass compares cached plans against — a stale or
+    collided cache entry cannot influence it.
+    """
+    return _lower(schedule)
+
+
+def plans_structurally_equal(a: CompiledSchedule, b: CompiledSchedule) -> bool:
+    """True iff two compiled plans lower the same schedule structure.
+
+    Compares every per-step index array plus the derived trajectory;
+    routing memos and object identity are ignored.
+    """
+    if a.n != b.n or len(a.steps) != len(b.steps):
+        return False
+    if not np.array_equal(a.trajectory, b.trajectory):
+        return False
+    for sa, sb in zip(a.steps, b.steps):
+        if not (np.array_equal(sa.pairs, sb.pairs)
+                and np.array_equal(sa.src, sb.src)
+                and np.array_equal(sa.dst, sb.dst)):
+            return False
+    return True
 
 
 def plan_cache_stats() -> PlanCacheStats:

@@ -152,23 +152,40 @@ class ParallelJacobiSVD:
         opts = self.options
         block = isinstance(opts, BlockJacobiOptions)
         executor = None
+        # fault-injected runs never arm the sanitizer: injected damage is
+        # *meant* to reach the recovery machinery (rollback, remap), not
+        # to abort the process, and the fault loop runs the same
+        # invariant detectors itself
+        sanitizer = None
+        if fault_plan is None:
+            if block:
+                sanitizer = opts.make_sanitizer()
+            else:
+                from ..verify.sanitize import RuntimeSanitizer, sanitize_enabled
+
+                if sanitize_enabled():
+                    sanitizer = RuntimeSanitizer()
         if block:
             executor = opts.make_executor()
             machine.load(a, compute_v=compute_uv, kernel=opts.kernel,
                          block_size=opts.block_size,
                          inner_sweeps=opts.inner_sweeps,
-                         executor=executor)
+                         executor=executor, sanitizer=sanitizer)
         else:
             machine.load(a, compute_v=compute_uv, kernel=opts.kernel)
+        if sanitizer is not None:
+            sanitizer.arm_reference(machine.X)
         try:
             return self._compute_loaded(
-                a, machine, ordering, opts, block, compute_uv, fault_plan)
+                a, machine, ordering, opts, block, compute_uv, fault_plan,
+                sanitizer)
         finally:
             if executor is not None:
                 executor.close()
 
     def _compute_loaded(
         self, a, machine, ordering, opts, block, compute_uv, fault_plan,
+        sanitizer=None,
     ) -> tuple[SVDResult, ParallelRunReport]:
         m, n = a.shape
         injector = None
@@ -207,6 +224,8 @@ class ParallelJacobiSVD:
             report.sweep_stats.append(sweep_stats)
             report.reduction_time += allreduce
             sweeps = sweep + 1
+            if sanitizer is not None:
+                sanitizer.check_sweep(machine.X, machine.V, sweep=sweeps)
             sweep_off = off_norm(machine.X)
             history.append(
                 SweepRecord(

@@ -43,6 +43,7 @@ switched onto the threaded backend without code changes.
 
 from __future__ import annotations
 
+import operator
 import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, TypeVar
@@ -97,10 +98,21 @@ class StepExecutor:
 
     name: str = "abstract"
     workers: int = 1
+    #: optional :class:`~repro.verify.sanitize.RuntimeSanitizer`; when
+    #: armed, every dispatch reports its actual chunk bounds so the
+    #: sanitizer can cross-check them against the static chunking
+    sanitizer = None
 
     def run_chunks(self, n_items: int,
                    fn: Callable[[int, int], T]) -> list[T]:
         raise NotImplementedError
+
+    def _note_dispatch(self, n_items: int,
+                       bounds: list[tuple[int, int]]) -> None:
+        """Report the bounds about to be dispatched to the sanitizer."""
+        san = self.sanitizer
+        if san is not None:
+            san.note_dispatch(n_items, bounds)
 
     def close(self) -> None:
         """Release pooled resources (idempotent)."""
@@ -115,10 +127,23 @@ class StepExecutor:
     def chunk_bounds(n_items: int, n_chunks: int) -> list[tuple[int, int]]:
         """Contiguous ``(lo, hi)`` bounds covering ``range(n_items)``.
 
-        At most ``n_chunks`` chunks; sizes differ by at most one, larger
-        chunks first — a pure function of its arguments.
+        At most ``n_chunks`` chunks, never an empty one; sizes differ by
+        at most one, larger chunks first — a pure function of its
+        arguments.  Degenerate inputs fail loudly: ``n_items`` must be a
+        non-negative integer and ``n_chunks`` a positive one (a request
+        for zero or negative chunks is a caller bug, not a smaller
+        partition).  ``n_chunks > n_items`` clamps to one item per chunk,
+        and zero items yield zero chunks — never silent empty chunks.
         """
-        n_chunks = max(1, min(n_chunks, n_items))
+        n_items = operator.index(n_items)
+        n_chunks = operator.index(n_chunks)
+        require(n_items >= 0,
+                f"n_items must be >= 0, got {n_items!r}")
+        require(n_chunks >= 1,
+                f"n_chunks must be >= 1, got {n_chunks!r}")
+        if n_items == 0:
+            return []
+        n_chunks = min(n_chunks, n_items)
         q, r = divmod(n_items, n_chunks)
         bounds = []
         lo = 0
@@ -139,6 +164,7 @@ class SerialExecutor(StepExecutor):
                    fn: Callable[[int, int], T]) -> list[T]:
         if n_items <= 0:
             return []
+        self._note_dispatch(n_items, [(0, n_items)])
         return [fn(0, n_items)]
 
 
@@ -164,6 +190,7 @@ class ThreadStepExecutor(StepExecutor):
         if n_items <= 0:
             return []
         bounds = self.chunk_bounds(n_items, self.workers)
+        self._note_dispatch(n_items, bounds)
         if len(bounds) == 1:
             return [fn(0, n_items)]
         if self._pool is None:

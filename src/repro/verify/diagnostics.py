@@ -48,6 +48,31 @@ RULES: dict[str, tuple[str, str]] = {
     "SWEEP001": ("error", "index pair rotated more than once in one sweep (duplicate pair)"),
     "SWEEP002": ("error", "index pair never rotated during the sweep (missing pair)"),
     "SWEEP003": ("error", "index order not restored within the allowed number of sweeps"),
+    "EXEC001": ("error", "two executor chunks of one step stage write the same slot "
+                         "(parallel write-write hazard)"),
+    "EXEC002": ("error", "an unsplittable kernel stage (the batched inner Gram solve) "
+                         "is split across executor chunks"),
+    "EXEC003": ("error", "chunk bounds are not an in-order contiguous partition of the "
+                         "step's work items (serial-merge order not deterministic)"),
+    "EXEC004": ("warning", "executor chunking skews load: the largest chunk holds at "
+                           "least twice the ideal per-chunk share"),
+    "PLAN001": ("error", "compiled step arrays disagree with the source schedule "
+                         "(pair/move lowering corrupted)"),
+    "PLAN002": ("error", "compiled trajectory or final layout disagrees with the "
+                         "schedule's move phases (sweep permutation corrupted)"),
+    "PLAN003": ("error", "plan cache returned a plan whose structure disagrees with "
+                         "the schedule (stale instance memo or fingerprint collision)"),
+    "FT001": ("error", "a single-leaf failure leaves no sound degraded remap "
+                       "(host map broken or degraded routing impossible)"),
+    "FT002": ("error", "kernel fallback chain malformed: it does not walk registered "
+                       "kernels down to the reference solver"),
+    "SAN001": ("error", "runtime write-set violation: a worker touched columns outside "
+                        "its static write-set, disjoint chunks overlapped, or the "
+                        "dispatched bounds diverged from the static chunking"),
+    "SAN002": ("error", "non-finite entry in the factors at a sweep boundary "
+                        "(runtime numeric canary)"),
+    "SAN003": ("error", "numeric invariant drifted at a sweep boundary "
+                        "(Frobenius norm of X or orthogonality of V)"),
 }
 
 

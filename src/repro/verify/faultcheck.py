@@ -1,0 +1,174 @@
+"""Fault-tolerance totality analysis (``FT*``).
+
+The fault subsystem promises that *any* single-leaf crash degrades
+gracefully: the dead leaf's columns rehost on its sibling and the sweep
+retries (:mod:`repro.faults`).  That promise is exercised by fault
+campaigns at a handful of injection points — this pass instead proves it
+*totally*, by enumerating every possible single-leaf death for a
+topology and asserting each one yields a sound degraded configuration:
+
+``FT001``
+    kill each leaf in turn on a fresh machine, run
+    :meth:`~repro.machine.simulator.TreeMachine.degrade_leaf`, then
+    check the resulting host map
+    (:func:`~repro.faults.recovery.host_map_problems`) and re-route
+    every move phase of the schedule under the degraded map.  Any
+    exception or unsound map is a finding.  Oversubscribed channels are
+    *accepted* — degraded mode trades contention-freeness for liveness —
+    but the routing must exist.
+
+``FT002``
+    the kernel fallback chains
+    (:data:`~repro.blockjacobi.kernel.FALLBACK_CHAINS`) must be
+    well-formed: every registered kernel has a chain, the chain starts
+    at the kernel, walks registered kernels without repetition, ends at
+    the ``reference`` solver, and is *suffix-consistent* (the chain of a
+    downgraded kernel is the tail of the chain that downgraded to it) —
+    otherwise a breakdown could downgrade forever or dead-end short of
+    the always-works solver.
+
+The schedule's structural soundness is checked once without a topology
+— capacity findings are a property of the (schedule, machine) pairing
+the ``CAP*`` rules already own, not of fault tolerance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Mapping, Sequence
+
+import numpy as np
+
+from ..blockjacobi.kernel import BLOCK_KERNELS, FALLBACK_CHAINS
+from ..machine.routing import remap_leaves, route_phase
+from ..machine.simulator import TreeMachine
+from ..machine.topology import TreeTopology
+from ..orderings.schedule import Schedule
+from ..util.bits import leaf_of_slot
+from .diagnostics import Diagnostic
+from .races import find_races
+
+__all__ = [
+    "check_degraded_totality",
+    "check_fallback_chains",
+    "check_host_map",
+]
+
+
+def check_host_map(host_of_leaf: np.ndarray,
+                   dead_leaves: Collection[int]) -> list[Diagnostic]:
+    """Wrap :func:`~repro.faults.recovery.host_map_problems` findings as
+    ``FT001`` diagnostics."""
+    from ..faults.recovery import host_map_problems
+
+    return [
+        Diagnostic(rule="FT001", message=f"degraded host map unsound: {p}")
+        for p in host_map_problems(host_of_leaf, dead_leaves)
+    ]
+
+
+def check_degraded_totality(schedule: Schedule,
+                            topology: TreeTopology) -> list[Diagnostic]:
+    """Prove every single-leaf death of ``topology`` degrades gracefully
+    for ``schedule`` (rule ``FT001``)."""
+    # slot/move soundness only: sweep-level coverage (SWEEP*) and
+    # capacity (CAP*) are other passes' business and some orderings
+    # legitimately defer coverage across sweeps (LLB's skipped
+    # duplicate rotation)
+    races = [d for d in find_races(schedule) if d.is_error]
+    if races:
+        rules = tuple(sorted({d.rule for d in races}))
+        return [Diagnostic(
+            rule="FT001",
+            message="schedule fails slot/move soundness even before any "
+                    f"fault; degraded validation is meaningless "
+                    f"({', '.join(rules)})",
+            details=(("rules", rules),),
+        )]
+    out: list[Diagnostic] = []
+    for dead in range(topology.n_leaves):
+        machine = TreeMachine(topology)
+        try:
+            machine.degrade_leaf(dead)
+        except Exception as exc:  # noqa: BLE001 - any failure is the finding
+            out.append(Diagnostic(
+                rule="FT001",
+                message=f"degrading leaf {dead} failed outright: {exc}",
+                details=(("dead_leaf", dead),),
+            ))
+            continue
+        out.extend(
+            Diagnostic(rule="FT001",
+                       message=f"after killing leaf {dead}: {d.message}",
+                       details=(("dead_leaf", dead),) + d.details)
+            for d in check_host_map(machine.host_of_leaf,
+                                    machine.dead_leaves))
+        for step_no, step in enumerate(schedule.steps, start=1):
+            if not step.moves:
+                continue
+            try:
+                pairs = remap_leaves(
+                    ((leaf_of_slot(mv.src), leaf_of_slot(mv.dst))
+                     for mv in step.moves),
+                    machine.host_of_leaf)
+                route_phase(topology, pairs)
+            except Exception as exc:  # noqa: BLE001 - see above
+                out.append(Diagnostic(
+                    rule="FT001", step=step_no,
+                    message=f"after killing leaf {dead}, the move phase "
+                            f"cannot be routed on the degraded map: {exc}",
+                    details=(("dead_leaf", dead),),
+                ))
+    return out
+
+
+def check_fallback_chains(
+    chains: Mapping[str, Sequence[str]] | None = None,
+) -> list[Diagnostic]:
+    """Prove the kernel fallback chains well-formed (rule ``FT002``).
+
+    ``chains`` defaults to the live
+    :data:`~repro.blockjacobi.kernel.FALLBACK_CHAINS`; the negative
+    tests pass corrupted tables.
+    """
+    if chains is None:
+        chains = FALLBACK_CHAINS
+    out: list[Diagnostic] = []
+
+    def finding(kernel: str, why: str) -> Diagnostic:
+        return Diagnostic(
+            rule="FT002",
+            message=f"fallback chain of kernel {kernel!r} malformed: {why} "
+                    f"(chain: {list(chains.get(kernel, ()))})",
+            details=(("kernel", kernel),
+                     ("chain", tuple(chains.get(kernel, ())))),
+        )
+
+    for kernel in BLOCK_KERNELS:
+        chain = tuple(chains.get(kernel, ()))
+        if not chain:
+            out.append(finding(kernel, "no chain registered"))
+            continue
+        if chain[0] != kernel:
+            out.append(finding(kernel, "chain does not start at the kernel"))
+        if chain[-1] != "reference":
+            out.append(finding(
+                kernel, "chain does not end at the reference solver"))
+        if len(set(chain)) != len(chain):
+            out.append(finding(
+                kernel, "chain repeats a kernel (downgrade loop)"))
+        unknown = [k for k in chain if k not in BLOCK_KERNELS]
+        if unknown:
+            out.append(finding(
+                kernel, f"chain names unregistered kernel(s) {unknown}"))
+            continue
+        # suffix consistency: downgrading to chain[i] must leave exactly
+        # the remaining tail as its own escape route
+        for i in range(1, len(chain)):
+            if tuple(chains.get(chain[i], ())) != chain[i:]:
+                out.append(finding(
+                    kernel,
+                    f"downgrading to {chain[i]!r} changes the escape "
+                    f"route (expected tail {list(chain[i:])}, "
+                    f"got {list(chains.get(chain[i], ()))})"))
+                break
+    return out

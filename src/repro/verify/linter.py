@@ -145,7 +145,7 @@ def lint_registry(
     names: Sequence[str] | None = None,
     sizes: Sequence[int] = DEFAULT_SIZES,
     topology: str | None = None,
-    **kwargs_by_name: dict,
+    **kwargs_by_name: dict[str, object],
 ) -> list[Report]:
     """The uniform analysis gate: lint every registered ordering at every
     size, optionally on a named topology (which enables the capacity

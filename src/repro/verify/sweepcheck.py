@@ -21,7 +21,7 @@ composing one full period of sweep permutations.
 from __future__ import annotations
 
 from math import lcm
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
 from ..orderings.base import Ordering
 from ..orderings.properties import check_all_pairs_once
@@ -54,7 +54,7 @@ def permutation_order(perm: Sequence[int]) -> int:
     return order
 
 
-def _listed(pairs) -> str:
+def _listed(pairs: Sequence[Iterable[int]]) -> str:
     shown = [tuple(sorted(p)) for p in pairs[:_MAX_LISTED]]
     suffix = ", ..." if len(pairs) > _MAX_LISTED else ""
     return f"{shown}{suffix}"

@@ -54,9 +54,9 @@ class TestTiming:
 
 
 class TestScenarios:
-    def test_full_list_has_seventeen_quick_has_eleven(self):
-        assert len(default_scenarios(quick=False)) == 17
-        assert len(default_scenarios(quick=True)) == 11
+    def test_full_list_has_twentytwo_quick_has_fourteen(self):
+        assert len(default_scenarios(quick=False)) == 22
+        assert len(default_scenarios(quick=True)) == 14
 
     def test_names_unique_and_stable(self):
         full = scenario_names(quick=False)
@@ -66,9 +66,13 @@ class TestScenarios:
         assert "block/reference/ring_new/n128b8" in full
         assert "exec/serial/ring_new/n128b8" in full
         assert "exec/threads/ring_new/n128b8" in full
+        assert "sanitize/off/serial/n128b8" in full
+        assert "sanitize/on/serial/n128b8" in full
+        assert "sanitize/on/threads/n128b8" in full
         assert "parallel/hybrid/cm5/n64b4" in full
         assert "faults/recovery-overhead/n16" in full
         assert "lint/registry" in full
+        assert "analyze/registry" in full
 
     def test_fast_scenarios_declare_their_baseline(self):
         for s in default_scenarios():
@@ -87,6 +91,11 @@ class TestScenarios:
                     f"exec/serial/{s.params['ordering']}"
                     f"/n{s.params['n']}b{s.params['block_size']}"
                 )
+            elif s.kind == "sanitize-overhead" and s.params["sanitize"]:
+                assert s.reference == (
+                    f"sanitize/off/{s.params['executor']}"
+                    f"/n{s.params['n']}b{s.params['block_size']}"
+                )
             else:
                 assert s.reference is None
 
@@ -98,7 +107,8 @@ class TestScenarios:
 
     @pytest.mark.parametrize(
         "name", ["svd/batched/fat_tree/n16", "block/gram/ring_new/n32b4",
-                 "parallel/hybrid/cm5/n8", "lint/registry"]
+                 "parallel/hybrid/cm5/n8", "lint/registry",
+                 "analyze/registry"]
     )
     def test_run_scenario_record_shape(self, name):
         by_name = {s.name: s for s in default_scenarios(quick=True)}
@@ -106,11 +116,26 @@ class TestScenarios:
         assert rec["name"] == name
         assert rec["wall_time_s"] > 0
         assert rec["times_s"] and len(rec["times_s"]) == 1
-        if rec["kind"] != "lint":
+        if rec["kind"] in ("lint", "analyze"):
+            assert rec["meta"]["clean"] is True
+        else:
             assert rec["meta"]["converged"] is True
             assert rec["meta"]["sweeps"] >= 1
-        else:
-            assert rec["meta"]["clean"] is True
+
+    def test_run_sanitize_scenarios_same_computation(self):
+        """The sanitizer may cost wall time but must not change the
+        run: identical convergence trajectory with and without it."""
+        by_name = {s.name: s for s in default_scenarios(quick=True)}
+        recs = [run_scenario(by_name[f"sanitize/{sw}/serial/n32b4"],
+                             repeats=1, warmup=0)
+                for sw in ("off", "on")]
+        for rec in recs:
+            assert rec["kind"] == "sanitize-overhead"
+            assert rec["meta"]["converged"] is True
+        assert recs[0]["meta"]["sanitize"] is False
+        assert recs[1]["meta"]["sanitize"] is True
+        assert recs[0]["meta"]["sweeps"] == recs[1]["meta"]["sweeps"]
+        assert recs[0]["meta"]["rotations"] == recs[1]["meta"]["rotations"]
 
     def test_run_faults_recovery_scenario(self):
         by_name = {s.name: s for s in default_scenarios(quick=True)}

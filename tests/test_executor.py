@@ -26,7 +26,7 @@ from repro.parallel.executor import (
 
 
 class TestChunkBounds:
-    @pytest.mark.parametrize("n_items", [0, 1, 2, 3, 7, 8, 100])
+    @pytest.mark.parametrize("n_items", [1, 2, 3, 7, 8, 100])
     @pytest.mark.parametrize("n_chunks", [1, 2, 3, 4, 16])
     def test_bounds_cover_the_range_contiguously(self, n_items, n_chunks):
         bounds = StepExecutor.chunk_bounds(n_items, n_chunks)
@@ -39,11 +39,37 @@ class TestChunkBounds:
 
     def test_never_more_chunks_than_items(self):
         assert len(StepExecutor.chunk_bounds(3, 8)) == 3
-        assert len(StepExecutor.chunk_bounds(0, 8)) == 1
+
+    def test_zero_items_yield_zero_chunks(self):
+        # no silent empty chunks: an empty partition is an empty list
+        assert StepExecutor.chunk_bounds(0, 1) == []
+        assert StepExecutor.chunk_bounds(0, 8) == []
 
     def test_pure_function_of_arguments(self):
         assert StepExecutor.chunk_bounds(10, 3) == \
             StepExecutor.chunk_bounds(10, 3)
+
+    @pytest.mark.parametrize("n_items", [-1, -100])
+    def test_negative_items_rejected(self, n_items):
+        with pytest.raises(ValueError, match="n_items must be >= 0"):
+            StepExecutor.chunk_bounds(n_items, 2)
+
+    @pytest.mark.parametrize("n_chunks", [0, -1, -8])
+    def test_nonpositive_chunks_rejected(self, n_chunks):
+        with pytest.raises(ValueError, match="n_chunks must be >= 1"):
+            StepExecutor.chunk_bounds(4, n_chunks)
+
+    @pytest.mark.parametrize("bad", [2.5, "3", None, 4.0])
+    def test_non_integer_arguments_rejected(self, bad):
+        with pytest.raises(TypeError):
+            StepExecutor.chunk_bounds(bad, 2)
+        with pytest.raises(TypeError):
+            StepExecutor.chunk_bounds(8, bad)
+
+    def test_numpy_integers_accepted(self):
+        # operator.index() admits integer-likes, not just builtin int
+        assert StepExecutor.chunk_bounds(np.intp(6), np.intp(2)) == \
+            StepExecutor.chunk_bounds(6, 2)
 
 
 class TestBackends:
