@@ -6,10 +6,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-sanitized lint lint-tools lint-schedules analyze bench bench-check bench-figures faults
+.PHONY: test test-batch test-sanitized lint lint-tools lint-schedules analyze bench bench-check bench-figures faults
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# the batch-API contract: svd_batch bit-identical to a loop of svd()
+# across kernels x orderings x executors, plus the hypothesis batch
+# properties (order-invariance, determinism, per-item error reporting)
+test-batch:
+	$(PYTHON) -m pytest -x -q tests/test_batch_api.py tests/test_batch_property.py
 
 # the whole suite with the runtime sanitizer armed: every block run
 # cross-checks its write records and numeric canaries; zero SAN

@@ -17,9 +17,11 @@ Quick start::
     assert result.converged and result.emerged_sorted == "desc"
 """
 
-from .apps import lstsq, pca, pinv, truncated_svd
-from .blockjacobi import BlockJacobiOptions, block_jacobi_svd
-from .core import SVDResult, SweepRecord, parallel_svd, svd
+from .apps import lstsq, pca, pca_batch, pinv, truncated_svd
+from .blockjacobi import (BlockJacobiOptions, block_jacobi_svd,
+                          block_jacobi_svd_batch)
+from .core import (BatchResult, SVDResult, SweepRecord, parallel_svd, svd,
+                   svd_batch)
 from .eig import EigOptions, EigResult, jacobi_eigh
 from .faults import FaultPlan
 from .machine import CostModel, TreeMachine, make_topology
@@ -32,6 +34,7 @@ from .verify import lint_ordering, lint_schedule
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchResult",
     "BlockJacobiOptions",
     "ConvergenceWarning",
     "CostModel",
@@ -46,17 +49,20 @@ __all__ = [
     "SweepRecord",
     "TreeMachine",
     "block_jacobi_svd",
+    "block_jacobi_svd_batch",
     "jacobi_eigh",
     "jacobi_svd",
     "lint_ordering",
     "lint_schedule",
     "lstsq",
     "pca",
+    "pca_batch",
     "pinv",
     "make_ordering",
     "make_topology",
     "ordering_names",
     "parallel_svd",
     "svd",
+    "svd_batch",
     "truncated_svd",
 ]

@@ -1,6 +1,7 @@
 """Downstream applications exercising the public SVD API."""
 
-from .lowrank import LowRankApproximation, PCAResult, pca, truncated_svd
+from .lowrank import (LowRankApproximation, PCAResult, pca, pca_batch,
+                      truncated_svd)
 from .lstsq import LstsqResult, lstsq, pinv
 
 __all__ = [
@@ -9,6 +10,7 @@ __all__ = [
     "PCAResult",
     "lstsq",
     "pca",
+    "pca_batch",
     "pinv",
     "truncated_svd",
 ]

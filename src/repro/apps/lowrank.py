@@ -6,11 +6,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.api import svd
+from ..core.api import svd, svd_batch
 from ..svd.hestenes import JacobiOptions
 from ..util.validation import require
 
-__all__ = ["LowRankApproximation", "truncated_svd", "PCAResult", "pca"]
+__all__ = ["LowRankApproximation", "truncated_svd", "PCAResult", "pca",
+           "pca_batch"]
 
 
 @dataclass
@@ -83,6 +84,12 @@ def pca(
     xc = x - mean
     wide = xc.shape[0] < xc.shape[1]
     r = svd(xc.T if wide else xc, ordering=ordering)
+    return _assemble_pca(r, k, n_samples, wide, mean)
+
+
+def _assemble_pca(r, k: int, n_samples: int, wide: bool,
+                  mean: np.ndarray) -> PCAResult:
+    """Turn one SVD result of a centred data matrix into a PCAResult."""
     if wide:
         components = r.u[:, :k].T
         scores = r.v[:, :k] * r.sigma[:k]
@@ -99,3 +106,44 @@ def pca(
         mean=mean,
         scores=scores,
     )
+
+
+def pca_batch(
+    xs: np.ndarray,
+    k: int | None = None,
+    ordering: str = "fat_tree",
+    **svd_kwargs: object,
+) -> list[PCAResult]:
+    """PCA of many same-shape data matrices through one :func:`repro.svd_batch`.
+
+    ``xs`` is a ``(B, n_samples, n_features)`` stack — the ROADMAP's
+    per-user workload: one small data matrix per user, all the same
+    shape.  Each item is centred by its own mean (the centring loop
+    matches :func:`pca` arithmetic exactly) and the whole batch goes
+    through a single :func:`repro.svd_batch` call, so the schedule
+    compiles once and the Jacobi work runs as stacked GEMMs.  With the
+    default knobs, ``pca_batch(xs)[i]`` is bit-identical to
+    ``pca(xs[i])``; extra ``svd_kwargs`` (``kernel=``, ``block_size=``,
+    ``executor=``, ``workers=``) are forwarded to :func:`repro.svd_batch`.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    require(xs.ndim == 3, "stack of data matrices expected")
+    nitems, n_samples, n_features = xs.shape
+    require(nitems >= 1, "need at least one data matrix")
+    require(n_samples >= 2, "need at least two samples")
+    k = k if k is not None else min(n_samples - 1, n_features)
+    require(1 <= k <= min(n_samples, n_features), "bad component count")
+    means = np.empty((nitems, n_features))
+    xc = np.empty_like(xs)
+    for i in range(nitems):
+        # per-item centring, looped so each mean/subtraction runs the
+        # exact reduction pca() runs on that matrix alone
+        means[i] = xs[i].mean(axis=0)
+        xc[i] = xs[i] - means[i]
+    wide = n_samples < n_features
+    work = xc.transpose(0, 2, 1) if wide else xc
+    batch = svd_batch(work, ordering=ordering, **svd_kwargs)
+    return [
+        _assemble_pca(batch[i], k, n_samples, wide, means[i])
+        for i in range(nitems)
+    ]

@@ -20,6 +20,12 @@ protected:
                      threads-vs-serial pair is the multicore headline
                      (bit-identical results, wall time scaled by the
                      GIL-releasing GEMM phases);
+``svd-batch``        throughput of the many-matrix API over a stack of
+                     small problems (the ROADMAP's per-user workload):
+                     ``batch`` scenarios run one :func:`repro.svd_batch`
+                     call, ``loop`` scenarios the per-matrix
+                     :func:`repro.svd` loop they amortise — the
+                     batch-vs-loop pair is the problem-axis headline;
 ``lint``             latency of the static schedule verifier over the
                      ordering registry;
 ``analyze``          latency of the execution-layer analysis gate
@@ -119,6 +125,20 @@ def _sanitize_scenario(sanitize: bool, executor: str, n: int,
     )
 
 
+def _batch_scenario(mode: str, batch: int, n: int, b: int,
+                    paired: bool = True) -> Scenario:
+    ref = None
+    if mode == "batch" and paired:
+        ref = f"batch/loop/ring_new/n{n}x{batch}"
+    return Scenario(
+        name=f"batch/{mode}/ring_new/n{n}x{batch}",
+        kind="svd-batch",
+        params={"mode": mode, "ordering": "ring_new", "n": n, "m": n + 8,
+                "block_size": b, "batch": batch},
+        reference=ref,
+    )
+
+
 def default_scenarios(quick: bool = False) -> list[Scenario]:
     """The shipped scenario list.
 
@@ -126,10 +146,11 @@ def default_scenarios(quick: bool = False) -> list[Scenario]:
     the block kernels (gram vs reference vs batched at n=128, b=8), the
     step-executor pair (serial vs threads on the same block run), the
     sanitizer-overhead pairs (off vs on, serial and threads), the
-    parallel simulator at scalar and block granularity, the
-    fault-recovery overhead run, and the lint and analyze gates
-    (22 scenarios).  ``quick`` mode shrinks every size for CI smoke
-    runs (14 scenarios) while keeping the same name structure.
+    batch-throughput pairs (svd_batch vs the looped-svd baseline at
+    batch sizes 10^2-10^4), the parallel simulator at scalar and block
+    granularity, the fault-recovery overhead run, and the lint and
+    analyze gates (27 scenarios).  ``quick`` mode shrinks every size for
+    CI smoke runs (16 scenarios) while keeping the same name structure.
     """
     sizes = (16,) if quick else (32, 64)
     out = []
@@ -156,6 +177,18 @@ def default_scenarios(quick: bool = False) -> list[Scenario]:
     for executor in (("serial",) if quick else ("serial", "threads")):
         for sanitize in (False, True):
             out.append(_sanitize_scenario(sanitize, executor, en, eb))
+    # the batch-throughput pairs: one svd_batch call against the looped
+    # svd() baseline it amortises, at n=16 b=4 (the per-user workload
+    # shape); full mode spans batch sizes 10^2-10^4 (the 10^4 point is
+    # batch-only — its loop twin would dominate the whole bench run)
+    if quick:
+        out.append(_batch_scenario("loop", 50, 16, 4))
+        out.append(_batch_scenario("batch", 50, 16, 4))
+    else:
+        for bsize in (100, 1000):
+            out.append(_batch_scenario("loop", bsize, 16, 4))
+            out.append(_batch_scenario("batch", bsize, 16, 4))
+        out.append(_batch_scenario("batch", 10000, 16, 4, paired=False))
     pn = 8 if quick else 32
     out.append(
         Scenario(
@@ -289,6 +322,34 @@ def run_scenario(
                 sanitize=p["sanitize"],
                 executor=p["executor"],
             )
+
+    elif scenario.kind == "svd-batch":
+        from ..core.api import svd, svd_batch
+
+        rng = np.random.default_rng(_SEED)
+        stack = rng.standard_normal((p["batch"], p["m"], p["n"]))
+        # both sides go through the public API with an ordering *name*:
+        # per-call ordering construction and plan-cache traffic are part
+        # of exactly the amortisation the pair measures
+        kw = dict(ordering=p["ordering"], kernel="gram",
+                  block_size=p["block_size"])
+        if p["mode"] == "loop":
+            def work() -> None:
+                results = [svd(stack[i], **kw) for i in range(len(stack))]
+                meta.update(
+                    batch=len(results),
+                    converged=all(r.converged for r in results),
+                )
+        else:
+            def work() -> None:
+                br = svd_batch(stack, **kw)
+                meta.update(
+                    batch=br.n_items,
+                    converged=bool(br.converged),
+                    matrices_per_sec=round(br.matrices_per_sec, 1),
+                    sweeps_histogram={str(k): v for k, v
+                                      in br.sweeps_histogram.items()},
+                )
 
     elif scenario.kind == "parallel-sweeps":
         from ..parallel.driver import ParallelJacobiSVD

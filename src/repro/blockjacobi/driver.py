@@ -33,9 +33,9 @@ from ..orderings.registry import make_ordering
 from ..svd.convergence import off_norm
 from ..util.errors import ConvergenceWarning
 from ..util.validation import require
-from .kernel import BLOCK_KERNELS, solve_block_step
+from .kernel import BLOCK_KERNELS, solve_block_step, solve_block_step_batch
 
-__all__ = ["BlockJacobiOptions", "block_jacobi_svd"]
+__all__ = ["BlockJacobiOptions", "block_jacobi_svd", "block_jacobi_svd_batch"]
 
 
 @dataclass(frozen=True)
@@ -204,17 +204,42 @@ def block_jacobi_svd(
     if not converged:
         # same refusal-to-be-silent contract as the scalar driver: diagnose
         # the off-norm series and warn (see repro.svd.hestenes)
-        from ..faults.watchdog import ConvergenceWatchdog
-
-        dog = ConvergenceWatchdog()
-        for h in history:
-            dog.observe(h.sweep, h.off_norm)
-        watchdog_msg = dog.escalate(opts.max_sweeps)
+        watchdog_msg = _watchdog_message(history, opts.max_sweeps)
         warnings.warn(
             f"block Jacobi SVD did not converge: {watchdog_msg}; the result "
             "is a partial decomposition (check result.converged)",
             ConvergenceWarning, stacklevel=2)
 
+    return _finalize_block_result(X, V, m, n, compute_uv, history,
+                                  converged, sweeps, watchdog_msg)
+
+
+def _watchdog_message(history: list[SweepRecord], max_sweeps: int) -> str:
+    """Diagnose a non-converged run's off-norm series (see repro.faults)."""
+    from ..faults.watchdog import ConvergenceWatchdog
+
+    dog = ConvergenceWatchdog()
+    for h in history:
+        dog.observe(h.sweep, h.off_norm)
+    return dog.escalate(max_sweeps)
+
+
+def _finalize_block_result(
+    X: np.ndarray,
+    V: np.ndarray | None,
+    m: int,
+    n: int,
+    compute_uv: bool,
+    history: list[SweepRecord],
+    converged: bool,
+    sweeps: int,
+    watchdog_msg: str | None,
+) -> SVDResult:
+    """Extract the decomposition from a finished column buffer.
+
+    Shared by the solo and batch drivers so a batch item's result is
+    produced by literally the same arithmetic as a standalone run.
+    """
     norms = np.linalg.norm(X, axis=0)
     sigma_by_slot = norms.copy()
     scale = max(1.0, float(norms.max(initial=0.0)))
@@ -243,3 +268,115 @@ def block_jacobi_svd(
         sigma_by_slot=sigma_by_slot, emerged_sorted=emerged, history=history,
         watchdog=watchdog_msg,
     )
+
+
+def block_jacobi_svd_batch(
+    stack: np.ndarray,
+    ordering: str | Ordering = "ring_new",
+    options: BlockJacobiOptions | None = None,
+    compute_uv: bool = True,
+    **ordering_kwargs: object,
+) -> list[SVDResult]:
+    """Block Jacobi SVD of a ``(B, m, n)`` stack of independent problems.
+
+    Every problem runs the same ordering, so the schedule is compiled
+    once per sweep (the plan-cache hit is shared by all ``B`` items) and
+    each step's local solves fuse the batch into one problem-axis
+    super-batch (:func:`~repro.blockjacobi.kernel.solve_block_step_batch`).
+    Per-item convergence masks drop finished matrices out of later
+    sweeps.  Results are **bit-identical** to calling
+    :func:`block_jacobi_svd` on each slice with the same options.
+
+    The executor (when ``workers > 1``) chunks the *batch axis*: items,
+    not GEMM rows, are the unit of parallel work.  With the sanitizer
+    armed, each item gets its own sweep-boundary canaries (SAN002/003);
+    the per-step write-set protocol (SAN001) covers the solo path and is
+    not armed here — the batch path is instead pinned to the solo path
+    bit-for-bit by the conformance suite.
+    """
+    stack = np.asarray(stack, dtype=np.float64)
+    require(stack.ndim == 3, "stack of matrices expected")
+    nitems, m, n = stack.shape
+    require(nitems >= 1, "batch must contain at least one matrix")
+    opts = options or BlockJacobiOptions()
+    b = opts.block_size
+    require(n % (2 * b) == 0, f"n={n} must be a multiple of 2*block_size={2 * b}")
+    n_blocks = n // b
+    if isinstance(ordering, Ordering):
+        require(ordering.n == n_blocks, "ordering must cover the block count")
+        ord_obj = ordering
+    else:
+        ord_obj = make_ordering(ordering, n_blocks, **ordering_kwargs)
+
+    Xs = stack.copy()
+    Vs = np.broadcast_to(np.eye(n), (nitems, n, n)).copy() if compute_uv else None
+    # the block trajectory is data-independent, hence shared by all items
+    block_cols = np.arange(n, dtype=np.intp).reshape(n_blocks, b)
+
+    histories: list[list[SweepRecord]] = [[] for _ in range(nitems)]
+    converged = np.zeros(nitems, dtype=bool)
+    sweeps_used = np.zeros(nitems, dtype=np.intp)
+    active = np.arange(nitems, dtype=np.intp)
+    executor = opts.make_executor()
+    sanitizers = None
+    if opts.make_sanitizer() is not None:
+        from ..verify.sanitize import RuntimeSanitizer
+
+        sanitizers = [RuntimeSanitizer() for _ in range(nitems)]
+        for i in range(nitems):
+            sanitizers[i].arm_reference(Xs[i])
+    try:
+        for sweep in range(opts.max_sweeps):
+            if active.size == 0:
+                break
+            plan = compile_schedule(ord_obj.sweep(sweep))
+            worst = np.zeros(active.size)
+            rotations = np.zeros(active.size, dtype=np.intp)
+            for cs in plan.steps:
+                if cs.n_pairs:
+                    pair_cols = block_cols[cs.pairs].reshape(cs.n_pairs, 2 * b)
+                    ap, wo = solve_block_step_batch(
+                        Xs, Vs, active, pair_cols, opts.tol, opts.sort,
+                        opts.inner_sweeps, opts.kernel, executor=executor)
+                    worst = np.maximum(worst, wo)
+                    rotations += ap
+                if cs.has_moves:
+                    block_cols[cs.dst] = block_cols[cs.src]
+            for j, i in enumerate(active):
+                sweeps_used[i] = sweep + 1
+                if sanitizers is not None:
+                    sanitizers[i].check_sweep(
+                        Xs[i], None if Vs is None else Vs[i], sweep=sweep + 1)
+                histories[i].append(
+                    SweepRecord(
+                        sweep=sweep + 1,
+                        off_norm=off_norm(Xs[i]),
+                        max_rel_gamma=float(worst[j]),
+                        rotations=int(rotations[j]),
+                        skipped=0,
+                    )
+                )
+            done = worst <= opts.tol
+            converged[active[done]] = True
+            active = active[~done]
+    finally:
+        executor.close()
+
+    watchdogs: list[str | None] = [None] * nitems
+    stuck = np.flatnonzero(~converged)
+    if stuck.size:
+        for i in stuck:
+            watchdogs[i] = _watchdog_message(histories[i], opts.max_sweeps)
+        warnings.warn(
+            f"block Jacobi SVD batch: {stuck.size} of {nitems} matrices did "
+            f"not converge (first: item {int(stuck[0])}: {watchdogs[stuck[0]]}); "
+            "partial decompositions returned (check result.converged per item)",
+            ConvergenceWarning, stacklevel=2)
+
+    return [
+        _finalize_block_result(
+            Xs[i], None if Vs is None else Vs[i], m, n, compute_uv,
+            histories[i], bool(converged[i]), int(sweeps_used[i]),
+            watchdogs[i])
+        for i in range(nitems)
+    ]

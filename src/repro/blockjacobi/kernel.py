@@ -48,7 +48,7 @@ from functools import lru_cache
 
 import numpy as np
 
-from ..eig.jacobi import gram_eigh_batched
+from ..eig.jacobi import gram_eigh_batched, gram_eigh_grouped
 from ..svd.rotations import (
     RotationStats,
     apply_step_rotations,
@@ -58,7 +58,7 @@ from ..util.errors import NumericalBreakdown
 from ..util.validation import require
 
 __all__ = ["BLOCK_KERNELS", "FALLBACK_CHAINS", "GRAM_NOISE", "KERNEL_STAGES",
-           "solve_block_pair", "solve_block_step"]
+           "solve_block_pair", "solve_block_step", "solve_block_step_batch"]
 
 #: registered block-pair kernels; ``gram`` is the BLAS-3 fast path
 BLOCK_KERNELS = ("reference", "batched", "gram")
@@ -548,3 +548,220 @@ def _solve_gram_many(
     else:
         apply_scatter(0, nb)
     return stats, worst
+
+
+def solve_block_step_batch(
+    Xs: np.ndarray,
+    Vs: np.ndarray | None,
+    items: np.ndarray,
+    pair_cols: "list[np.ndarray] | np.ndarray",
+    tol: float,
+    sort: str | None,
+    inner_sweeps: int,
+    kernel: str = "gram",
+    executor=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Solve one schedule step for *many problem matrices* at once.
+
+    The many-matrix analogue of :func:`solve_block_step`: ``Xs`` is a
+    ``(B, m, n)`` stack of independent problems (``Vs`` the matching
+    ``(B, n, n)`` stack of accumulated factors, or ``None``), ``items``
+    the batch indices still iterating, and ``pair_cols`` the step's met
+    block pairs — shared by every item, because all problems of a batch
+    run the same compiled schedule.  Returns per-item arrays
+    ``(applied, worst)`` aligned with ``items``.
+
+    The contract is the batch API's: **bit-identical to solving each
+    matrix alone**.  The gram kernel fuses the problem axis into its
+    stacked GEMM phases — one ``(len(items) * n_pairs, 2b, m)``
+    gather/Gram-form and one apply/scatter — while the inner Gram
+    Jacobi runs through :func:`repro.eig.gram_eigh_grouped` with one
+    *convergence group per problem*, so no problem's rotation sequence
+    ever depends on its batch neighbours.  The per-pair kernels loop
+    over the items.  ``executor`` chunks the *batch axis* (items, not
+    GEMM rows, are the unit of parallel work); chunks write disjoint
+    ``Xs[i]`` slices and merge in chunk order, so any worker count
+    yields the same bits.
+
+    A poisoned item (non-finite Gram blocks or rotation factors) is
+    delegated alone to :func:`solve_block_step`'s body, which re-raises
+    the same breakdown from the untouched columns and walks the same
+    per-pair fallback chain a solo run would.
+    """
+    require(sort in _SORT_MODES, f"sort must be one of {_SORT_MODES}, got {sort!r}")
+    require(kernel in BLOCK_KERNELS,
+            f"unknown block kernel {kernel!r}; "
+            f"available: {', '.join(BLOCK_KERNELS)}")
+    items = np.asarray(items, dtype=np.intp)
+    if items.size == 0 or len(pair_cols) == 0:
+        return np.zeros(items.size, dtype=np.intp), np.zeros(items.size)
+
+    def run_items(lo: int, hi: int) -> tuple[np.ndarray, np.ndarray]:
+        sub = items[lo:hi]
+        if kernel == "gram":
+            return _solve_gram_batch(Xs, Vs, sub, pair_cols, tol, sort,
+                                     inner_sweeps)
+        applied = np.zeros(hi - lo, dtype=np.intp)
+        worst = np.zeros(hi - lo)
+        for j, i in enumerate(sub):
+            st, mx = _solve_step_body(
+                Xs[i], None if Vs is None else Vs[i], pair_cols, tol, sort,
+                inner_sweeps, kernel, None, None)
+            applied[j] = st.applied
+            worst[j] = mx
+        return applied, worst
+
+    if executor is None or executor.workers == 1 or items.size == 1:
+        return run_items(0, items.size)
+    applied = np.empty(items.size, dtype=np.intp)
+    worst = np.empty(items.size)
+    pos = 0
+    for ap, wo in executor.run_chunks(items.size, run_items):
+        applied[pos:pos + len(ap)] = ap
+        worst[pos:pos + len(wo)] = wo
+        pos += len(ap)
+    return applied, worst
+
+
+def _expand_groups(pos: np.ndarray, nb: int) -> np.ndarray:
+    """Stack-row indices of the ``nb``-pair groups at positions ``pos``."""
+    return (pos[:, None] * nb + np.arange(nb, dtype=np.intp)).reshape(-1)
+
+
+def _apply_sort_only_batch(
+    Xs: np.ndarray,
+    Vs: np.ndarray | None,
+    rows: np.ndarray,
+    cols_arr: np.ndarray,
+    d: np.ndarray,
+    sort: str | None,
+) -> None:
+    """Vectorised :func:`_apply_sort_only` across problem matrices.
+
+    ``rows`` are batch indices, ``d`` the ``(len(rows) * nb, k)``
+    squared norms aligned with them.  Pairs already in norm order are
+    rewritten with their own values — a bitwise no-op — so the whole
+    permutation is two gather/scatter pairs regardless of batch size.
+    """
+    if sort is None:
+        return
+    nb, k = cols_arr.shape
+    if sort == "desc":
+        perm = np.argsort(-d, axis=1, kind="stable")
+    else:
+        perm = np.argsort(d, axis=1, kind="stable")
+    cols_tiled = np.tile(cols_arr, (len(rows), 1))
+    src = np.take_along_axis(cols_tiled, perm, axis=1)
+    src_rows = src.reshape(len(rows), nb * k)
+    tgt_flat = np.sort(cols_arr, axis=1).reshape(-1)
+    XsT = Xs.transpose(0, 2, 1)
+    XsT[np.ix_(rows, tgt_flat)] = XsT[rows[:, None], src_rows]
+    if Vs is not None:
+        VsT = Vs.transpose(0, 2, 1)
+        VsT[np.ix_(rows, tgt_flat)] = VsT[rows[:, None], src_rows]
+
+
+def _solve_gram_batch(
+    Xs: np.ndarray,
+    Vs: np.ndarray | None,
+    items: np.ndarray,
+    pair_cols: "list[np.ndarray] | np.ndarray",
+    tol: float,
+    sort: str | None,
+    inner_sweeps: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The gram kernel's problem-axis super-batch (see
+    :func:`solve_block_step_batch`): :func:`_solve_gram_many` with the
+    batch dimension extended from ``n_pairs`` to ``B x n_pairs`` and
+    every per-matrix decision (sort-only early exit, inner-Jacobi
+    convergence, breakdown delegation) taken per problem."""
+    nm = items.size
+    k = len(pair_cols[0])
+    require(all(len(c) == k for c in pair_cols),
+            "all block pairs of a step must have equal width")
+    cols_arr = np.asarray(pair_cols, dtype=np.intp)
+    nb = len(cols_arr)
+    m = Xs.shape[1]
+    allcols = cols_arr.reshape(-1)
+    applied = np.zeros(nm, dtype=np.intp)
+    worst_out = np.zeros(nm)
+
+    XsT = Xs.transpose(0, 2, 1)  # (B, n, m) view of the column stacks
+    Ys = XsT[np.ix_(items, allcols)].reshape(nm * nb, k, m)
+    G = np.matmul(Ys, Ys.transpose(0, 2, 1))
+
+    def delegate(j: int) -> None:
+        # the solo path re-forms this item's Gram blocks from its still
+        # untouched columns, hits the same breakdown, and walks the same
+        # fallback chain — bit-identical to a standalone run
+        st, mx = _solve_step_body(
+            Xs[items[j]], None if Vs is None else Vs[items[j]], pair_cols,
+            tol, sort, inner_sweeps, "gram", None, None)
+        applied[j] = st.applied
+        worst_out[j] = mx
+
+    finite = np.isfinite(G).reshape(nm, -1).all(axis=1)
+    keep = np.flatnonzero(finite)
+    for j in np.flatnonzero(~finite):
+        delegate(int(j))
+    if keep.size == 0:
+        return applied, worst_out
+    if keep.size < nm:
+        sel = _expand_groups(keep, nb)
+        Ys = Ys[sel]
+        G = G[sel]
+    # gemm output is symmetric only to rounding (see _solve_gram_many)
+    G = 0.5 * (G + G.transpose(0, 2, 1))
+    d = np.diagonal(G, axis1=1, axis2=2)  # (keep * nb, k) squared norms
+    gmax = d.max(axis=1)
+    floor = GRAM_NOISE * k * _EPS * gmax
+    fdiv = (floor / tol)[:, None] if tol > 0.0 else np.zeros((len(G), 1))
+    i0, i1 = _triu_cache(k)
+    denom = np.sqrt(np.abs(d[:, i0] * d[:, i1]))
+    rel = np.abs(G[:, i0, i1]) / (denom + fdiv + _TINY)
+    relw = rel.reshape(keep.size, -1).max(axis=1)
+    worst_out[keep] = relw
+
+    so_mask = relw <= tol
+    so_local = np.flatnonzero(so_mask)
+    if so_local.size:
+        # already orthogonal: only the norm-ordering convention may act
+        _apply_sort_only_batch(Xs, Vs, items[keep[so_local]], cols_arr,
+                               d[_expand_groups(so_local, nb)], sort)
+    sv_local = np.flatnonzero(~so_mask)
+    if sv_local.size == 0:
+        return applied, worst_out
+    sel_sv = _expand_groups(sv_local, nb)
+    Gs = G[sel_sv]
+    Ws, rots, _, _ = gram_eigh_grouped(Gs, tol=tol, max_sweeps=inner_sweeps,
+                                       floor=floor[sel_sv], group_size=nb)
+    wfin = np.isfinite(Ws).reshape(sv_local.size, -1).all(axis=1)
+    for j_local in np.flatnonzero(~wfin):
+        delegate(int(keep[sv_local[j_local]]))
+    ok_local = np.flatnonzero(wfin)
+    if ok_local.size == 0:
+        return applied, worst_out
+    sel_ok = _expand_groups(ok_local, nb)
+    W_ok = Ws[sel_ok]
+    Ys_ok = Ys[_expand_groups(sv_local[ok_local], nb)]
+    if sort is not None:
+        d2 = np.diagonal(Gs, axis1=1, axis2=2)[sel_ok]
+        if sort == "desc":
+            perm = np.argsort(-d2, axis=1, kind="stable")
+        else:
+            perm = np.argsort(d2, axis=1, kind="stable")
+        W_ok = np.take_along_axis(W_ok, perm[:, None, :], axis=2)
+        tgt_flat = np.sort(cols_arr, axis=1).reshape(-1)
+    else:
+        tgt_flat = allcols
+    rows = items[keep[sv_local[ok_local]]]
+    out = W_ok.transpose(0, 2, 1) @ Ys_ok  # (Y_i W_i)^T per pair
+    XsT[np.ix_(rows, tgt_flat)] = out.reshape(rows.size, nb * k, m)
+    if Vs is not None:
+        n = Vs.shape[2]
+        VsT = Vs.transpose(0, 2, 1)
+        Vg = VsT[np.ix_(rows, allcols)].reshape(rows.size * nb, k, n)
+        vout = W_ok.transpose(0, 2, 1) @ Vg
+        VsT[np.ix_(rows, tgt_flat)] = vout.reshape(rows.size, nb * k, n)
+    applied[keep[sv_local[ok_local]]] = rots[ok_local]
+    return applied, worst_out

@@ -1,6 +1,7 @@
-"""Public facade: ``svd``, ``parallel_svd`` and the result types."""
+"""Public facade: ``svd``, ``parallel_svd``, ``svd_batch`` and the result types."""
 
-from .api import parallel_svd, svd
-from .result import SVDResult, SweepRecord
+from .api import parallel_svd, svd, svd_batch
+from .result import BatchResult, SVDResult, SweepRecord
 
-__all__ = ["SVDResult", "SweepRecord", "parallel_svd", "svd"]
+__all__ = ["BatchResult", "SVDResult", "SweepRecord", "parallel_svd", "svd",
+           "svd_batch"]

@@ -12,25 +12,29 @@ schedule unit, BLAS-3 gram kernel by default).
 from __future__ import annotations
 
 import dataclasses
-from typing import TYPE_CHECKING
+import time
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from ..blockjacobi.driver import BlockJacobiOptions, block_jacobi_svd
+from ..blockjacobi.driver import (BlockJacobiOptions, block_jacobi_svd,
+                                  block_jacobi_svd_batch)
 from ..blockjacobi.kernel import BLOCK_KERNELS
 from ..machine.costmodel import CostModel
 from ..orderings.base import Ordering
+from ..orderings.plan import PlanCacheStats, plan_cache_stats
 from ..parallel.distribution import pad_columns, strip_padding
 from ..parallel.driver import ParallelJacobiSVD, ParallelRunReport
 from ..svd.hestenes import JacobiOptions, jacobi_svd
 from ..util.bits import is_power_of_two
-from ..util.validation import require, require_finite
-from .result import SVDResult
+from ..util.validation import (as_float_matrix, as_float_stack, require,
+                               require_finite)
+from .result import BatchResult, SVDResult
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults.plan import FaultPlan
 
-__all__ = ["svd", "parallel_svd"]
+__all__ = ["parallel_svd", "svd", "svd_batch"]
 
 
 def _needs_power_of_two(ordering: str | Ordering) -> bool:
@@ -130,9 +134,7 @@ def svd(
     and recovery; the telemetry is discarded and only the result
     returned (use :func:`parallel_svd` to keep the run report).
     """
-    a = np.asarray(a, dtype=np.float64)
-    require(a.ndim == 2, "matrix expected")
-    require_finite(a, "a")
+    a = as_float_matrix(a, "a")
     if fault_plan is not None:
         # fault injection lives in the machine layer; run there and
         # return just the decomposition
@@ -196,9 +198,7 @@ def parallel_svd(
     ``result.fault_events``, and an unrecoverable plan yields an
     explicit ``converged=False`` result — never silently wrong output.
     """
-    a = np.asarray(a, dtype=np.float64)
-    require(a.ndim == 2, "matrix expected")
-    require_finite(a, "a")
+    a = as_float_matrix(a, "a")
     bopts = _block_options(options, kernel, block_size, executor, workers)
     pow2 = _needs_power_of_two(ordering)
     if bopts is not None:
@@ -219,3 +219,107 @@ def parallel_svd(
     if padded.shape[1] != orig:
         result = strip_padding(result, orig)
     return result, report
+
+
+def _as_batch_stack(matrices: "np.ndarray | Sequence[np.ndarray]") -> np.ndarray:
+    """Normalise the batch input to a C-contiguous float64 ``(B, m, n)``
+    stack; accepts a 3-D array or a sequence of same-shape 2-D arrays."""
+    if isinstance(matrices, np.ndarray):
+        stack = as_float_stack(matrices, "matrices")
+    else:
+        items = [np.asarray(x) for x in matrices]
+        require(len(items) >= 1, "svd_batch needs at least one matrix")
+        for i, x in enumerate(items):
+            require(x.ndim == 2,
+                    f"matrices[{i}] must be a 2-D matrix, got ndim={x.ndim}")
+            require(x.shape == items[0].shape,
+                    "all matrices of a batch must share one shape; "
+                    f"matrices[{i}] has {x.shape}, expected {items[0].shape}")
+        stack = as_float_stack(np.stack(items), "matrices")
+    require(stack.shape[0] >= 1, "svd_batch needs at least one matrix")
+    return stack
+
+
+def svd_batch(
+    matrices: "np.ndarray | Sequence[np.ndarray]",
+    ordering: str | Ordering = "fat_tree",
+    options: JacobiOptions | BlockJacobiOptions | None = None,
+    kernel: str | None = None,
+    block_size: int | None = None,
+    executor: str | None = None,
+    workers: int | None = None,
+    **ordering_kwargs: object,
+) -> BatchResult:
+    """Jacobi SVD of many independent same-shape matrices at once.
+
+    ``matrices`` is a ``(B, m, n)`` stack or a sequence of ``B``
+    same-shape 2-D arrays.  The knobs are those of :func:`svd` and are
+    shared by every item; the returned :class:`~repro.core.BatchResult`
+    holds one :class:`~repro.core.SVDResult` per item (in input order)
+    plus the aggregate accounting (sweeps histogram, plan-cache delta,
+    matrices/sec).
+
+    The contract is **bit-identity**: ``svd_batch(stack, ...)[i]`` equals
+    ``svd(stack[i], ...)`` exactly, for every kernel, ordering and
+    executor.  What the batch changes is amortisation, not arithmetic —
+    in block mode the schedule is compiled once and every step's local
+    solves fuse the whole batch into stacked GEMMs, with per-item
+    convergence masks dropping finished matrices out of later sweeps
+    (:func:`~repro.blockjacobi.driver.block_jacobi_svd_batch`).
+    ``executor="threads"`` chunks *batch items* across workers, so
+    throughput scales with cores while the bits stay those of a serial
+    loop.  Scalar mode (no ``block_size``) falls back to a plain loop of
+    :func:`svd`.
+
+    A non-finite entry raises ``ValueError`` naming the offending batch
+    index and coordinates (``matrices[i] contains ... at index (r, c)``).
+    """
+    stack = _as_batch_stack(matrices)
+    nitems, _, n = stack.shape
+    # vectorised finiteness sweep; on failure re-check the first bad item
+    # so the error names the batch index and in-matrix coordinates
+    ok = np.isfinite(stack).reshape(nitems, -1).all(axis=1)
+    if not ok.all():
+        i = int(np.flatnonzero(~ok)[0])
+        require_finite(stack[i], f"matrices[{i}]")
+    bopts = _block_options(options, kernel, block_size, executor, workers)
+    pow2 = _needs_power_of_two(ordering)
+    before = plan_cache_stats()
+    t0 = time.perf_counter()
+    if bopts is not None:
+        b = bopts.block_size
+        n_blocks, rem = divmod(n, b)
+        admissible = rem == 0 and (
+            (is_power_of_two(n_blocks) and n_blocks >= 4)
+            if pow2 else (n_blocks % 2 == 0 and n_blocks >= 2)
+        )
+        if admissible:
+            results = block_jacobi_svd_batch(stack, ordering=ordering,
+                                             options=bopts, **ordering_kwargs)
+        else:
+            # pad the whole stack to the width a solo call would use
+            probe, orig = pad_columns(stack[0], power_of_two=pow2, block_size=b)
+            padded = np.zeros((nitems, stack.shape[1], probe.shape[1]))
+            padded[:, :, :n] = stack
+            results = [
+                strip_padding(r, orig)
+                for r in block_jacobi_svd_batch(padded, ordering=ordering,
+                                                options=bopts,
+                                                **ordering_kwargs)
+            ]
+    else:
+        scalar_opts = _with_kernel(options, kernel)
+        results = [
+            svd(stack[i], ordering=ordering, options=scalar_opts,
+                **ordering_kwargs)
+            for i in range(nitems)
+        ]
+    elapsed = time.perf_counter() - t0
+    after = plan_cache_stats()
+    delta = PlanCacheStats(
+        hits=after.hits - before.hits,
+        misses=after.misses - before.misses,
+        instance_hits=after.instance_hits - before.instance_hits,
+        size=after.size,
+    )
+    return BatchResult(results=results, elapsed_s=elapsed, plan_cache=delta)

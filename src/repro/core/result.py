@@ -2,15 +2,17 @@
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults.events import FaultEvent
+    from ..orderings.plan import PlanCacheStats
 
-__all__ = ["SVDResult", "SweepRecord"]
+__all__ = ["BatchResult", "SVDResult", "SweepRecord"]
 
 
 @dataclass
@@ -92,3 +94,67 @@ class SVDResult:
         """Relative Frobenius reconstruction error against ``a``."""
         denom = np.linalg.norm(a) or 1.0
         return float(np.linalg.norm(a - self.reconstruct()) / denom)
+
+
+@dataclass
+class BatchResult:
+    """Outcome of :func:`repro.svd_batch` over a stack of matrices.
+
+    A sequence of per-item :class:`SVDResult`\\ s (``batch[i]``,
+    ``len(batch)``, iteration) plus the aggregate accounting the batch
+    exists for: wall time, throughput, the sweeps histogram across the
+    batch, and the plan-cache traffic of this call (``plan_cache`` is
+    the *delta* of :func:`repro.orderings.plan.plan_cache_stats` across
+    the call — a warm cache shows ``misses == 0``: one compiled schedule
+    amortised over every item).
+    """
+
+    results: list[SVDResult]
+    elapsed_s: float
+    plan_cache: "PlanCacheStats | None" = None
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, i: int) -> SVDResult:
+        return self.results[i]
+
+    def __iter__(self) -> Iterator[SVDResult]:
+        return iter(self.results)
+
+    @property
+    def n_items(self) -> int:
+        return len(self.results)
+
+    @property
+    def converged(self) -> bool:
+        """True when *every* item converged."""
+        return all(r.converged for r in self.results)
+
+    @property
+    def n_converged(self) -> int:
+        return sum(1 for r in self.results if r.converged)
+
+    @property
+    def sweeps_histogram(self) -> dict[int, int]:
+        """``{sweeps_used: item count}``, sorted by sweep count."""
+        return dict(sorted(Counter(r.sweeps for r in self.results).items()))
+
+    @property
+    def matrices_per_sec(self) -> float:
+        return len(self.results) / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def sigma_stack(self) -> np.ndarray:
+        """``(B, n)`` stack of the per-item sorted singular values."""
+        return np.stack([r.sigma for r in self.results])
+
+    def summary(self) -> str:
+        """One-line batch summary for logs and CLIs."""
+        hist = ", ".join(f"{s}:{c}" for s, c in self.sweeps_histogram.items())
+        line = (f"{self.n_converged}/{self.n_items} converged, "
+                f"sweeps histogram {{{hist}}}, "
+                f"{self.matrices_per_sec:.1f} matrices/sec")
+        if self.plan_cache is not None:
+            line += (f", plan cache +{self.plan_cache.hits} hits "
+                     f"+{self.plan_cache.misses} misses")
+        return line

@@ -6,8 +6,8 @@ import numpy as np
 
 from .bits import is_power_of_two
 
-__all__ = ["require", "require_even", "require_finite",
-           "require_power_of_two", "require_range"]
+__all__ = ["as_float_matrix", "as_float_stack", "require", "require_even",
+           "require_finite", "require_power_of_two", "require_range"]
 
 
 def require(cond: bool, message: str) -> None:
@@ -32,6 +32,52 @@ def require_power_of_two(n: int, what: str = "n", minimum: int = 1) -> None:
 def require_range(x: int, lo: int, hi: int, what: str = "value") -> None:
     """Require ``lo <= x <= hi``."""
     require(lo <= x <= hi, f"{what} must be in [{lo}, {hi}], got {x!r}")
+
+
+def _as_float_array(a: object, ndim: int, what: str) -> np.ndarray:
+    """Coerce ``a`` to a C-contiguous float64 array of rank ``ndim``."""
+    arr = np.asarray(a)
+    shape_word = "matrix" if ndim == 2 else "stack of matrices"
+    require(arr.ndim == ndim,
+            f"{what} must be a {ndim}-D {shape_word}, got ndim={arr.ndim}")
+    if np.iscomplexobj(arr):
+        # ascontiguousarray would silently discard the imaginary part
+        raise ValueError(
+            f"{what} must be real-valued, got complex dtype {arr.dtype}")
+    if arr.dtype != np.float64 or not arr.flags.c_contiguous:
+        try:
+            arr = np.ascontiguousarray(arr, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"{what} must be real-valued (convertible to float64), "
+                f"got dtype {arr.dtype}"
+            ) from exc
+    return arr
+
+
+def as_float_matrix(a: object, what: str = "a") -> np.ndarray:
+    """Normalise a matrix argument for the SVD entry points.
+
+    Returns a C-contiguous float64 2-D array (copying only when the
+    input is not already in that form) with every entry finite.  The
+    single shared normalisation gate of ``svd``/``parallel_svd``/
+    ``svd_batch``: F-contiguous views, integer/float32 dtypes and
+    array-likes all land on the exact layout the kernels are specified
+    on, so the same input always produces the same bits regardless of
+    how the caller stored it.
+    """
+    arr = _as_float_array(a, 2, what)
+    require_finite(arr, what)
+    return arr
+
+
+def as_float_stack(a: object, what: str = "matrices") -> np.ndarray:
+    """Normalise a 3-D stack of same-shape matrices (no finiteness check).
+
+    The batch entry point checks finiteness itself so the error can name
+    the offending batch item; see :func:`repro.core.api.svd_batch`.
+    """
+    return _as_float_array(a, 3, what)
 
 
 def require_finite(a: np.ndarray, what: str = "a") -> None:

@@ -54,9 +54,9 @@ class TestTiming:
 
 
 class TestScenarios:
-    def test_full_list_has_twentytwo_quick_has_fourteen(self):
-        assert len(default_scenarios(quick=False)) == 22
-        assert len(default_scenarios(quick=True)) == 14
+    def test_full_list_has_twentyseven_quick_has_sixteen(self):
+        assert len(default_scenarios(quick=False)) == 27
+        assert len(default_scenarios(quick=True)) == 16
 
     def test_names_unique_and_stable(self):
         full = scenario_names(quick=False)
@@ -70,6 +70,9 @@ class TestScenarios:
         assert "sanitize/on/serial/n128b8" in full
         assert "sanitize/on/threads/n128b8" in full
         assert "parallel/hybrid/cm5/n64b4" in full
+        assert "batch/loop/ring_new/n16x1000" in full
+        assert "batch/batch/ring_new/n16x1000" in full
+        assert "batch/batch/ring_new/n16x10000" in full
         assert "faults/recovery-overhead/n16" in full
         assert "lint/registry" in full
         assert "analyze/registry" in full
@@ -95,6 +98,12 @@ class TestScenarios:
                 assert s.reference == (
                     f"sanitize/off/{s.params['executor']}"
                     f"/n{s.params['n']}b{s.params['block_size']}"
+                )
+            elif s.kind == "svd-batch" and s.params["mode"] == "batch" \
+                    and s.params["batch"] <= 1000:
+                assert s.reference == (
+                    f"batch/loop/{s.params['ordering']}"
+                    f"/n{s.params['n']}x{s.params['batch']}"
                 )
             else:
                 assert s.reference is None
@@ -168,6 +177,20 @@ class TestScenarios:
                            repeats=1, warmup=0)
         assert rec["meta"]["converged"] is True
         assert rec["meta"]["model_time"] > 0
+
+    def test_run_batch_scenarios_same_workload(self):
+        """The loop and batch scenarios solve the same seeded stack; the
+        batch record carries the throughput aggregates."""
+        by_name = {s.name: s for s in default_scenarios(quick=True)}
+        recs = [run_scenario(by_name[f"batch/{mode}/ring_new/n16x50"],
+                             repeats=1, warmup=0)
+                for mode in ("loop", "batch")]
+        for rec in recs:
+            assert rec["kind"] == "svd-batch"
+            assert rec["meta"]["converged"] is True
+            assert rec["meta"]["batch"] == 50
+        assert recs[1]["meta"]["matrices_per_sec"] > 0
+        assert sum(recs[1]["meta"]["sweeps_histogram"].values()) == 50
 
 
 def _record(name, wall, reference=None):
