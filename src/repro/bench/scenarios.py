@@ -17,9 +17,19 @@ protected:
                      machine time (scalar and block granularity);
 ``svd-parallel-exec`` one block Jacobi run under a chosen step-execution
                      backend (:mod:`repro.parallel.executor`) — the
-                     threads-vs-serial pair is the multicore headline
-                     (bit-identical results, wall time scaled by the
-                     GIL-releasing GEMM phases);
+                     threads-vs-serial and processes-vs-serial pairs are
+                     the multicore headlines (bit-identical results,
+                     wall time scaled by the GIL-releasing GEMM phases
+                     or by fully independent worker processes on
+                     shared-memory column views);
+``routing``          message-routing throughput over every communication
+                     phase of one compiled sweep: the ``loop`` scenario
+                     runs the per-message reference router
+                     (:func:`~repro.machine.routing.route_phase`), the
+                     ``vec`` twin the vectorised
+                     :func:`~repro.machine.routing.route_moves` hot path
+                     behind the simulator — the vec-vs-loop pair is the
+                     routing headline;
 ``svd-batch``        throughput of the many-matrix API over a stack of
                      small problems (the ROADMAP's per-user workload):
                      ``batch`` scenarios run one :func:`repro.svd_batch`
@@ -105,7 +115,18 @@ def _exec_scenario(executor: str, n: int, b: int, workers: int) -> Scenario:
         kind="svd-parallel-exec",
         params={"executor": executor, "ordering": "ring_new", "n": n,
                 "m": n + 16, "block_size": b,
-                "workers": workers if executor == "threads" else 1},
+                "workers": workers if executor != "serial" else 1},
+        reference=ref,
+    )
+
+
+def _route_scenario(mode: str, ordering: str, n: int) -> Scenario:
+    ref = None if mode == "loop" else f"route/loop/{ordering}/n{n}"
+    return Scenario(
+        name=f"route/{mode}/{ordering}/n{n}",
+        kind="routing",
+        params={"mode": mode, "ordering": ordering,
+                "topology": "perfect", "n": n},
         reference=ref,
     )
 
@@ -147,10 +168,12 @@ def default_scenarios(quick: bool = False) -> list[Scenario]:
     step-executor pair (serial vs threads on the same block run), the
     sanitizer-overhead pairs (off vs on, serial and threads), the
     batch-throughput pairs (svd_batch vs the looped-svd baseline at
-    batch sizes 10^2-10^4), the parallel simulator at scalar and block
-    granularity, the fault-recovery overhead run, and the lint and
-    analyze gates (27 scenarios).  ``quick`` mode shrinks every size for
-    CI smoke runs (16 scenarios) while keeping the same name structure.
+    batch sizes 10^2-10^4), the routing pair (vectorised vs per-message
+    router over one n=256 compiled sweep), the parallel simulator at
+    scalar and block granularity, the fault-recovery overhead run, and
+    the lint and analyze gates (30 scenarios).  ``quick`` mode shrinks
+    every size for CI smoke runs (19 scenarios) while keeping the same
+    name structure.
     """
     sizes = (16,) if quick else (32, 64)
     out = []
@@ -165,12 +188,16 @@ def default_scenarios(quick: bool = False) -> list[Scenario]:
         else ("reference", "batched", "gram")
     for kernel in block_kernels:
         out.append(_block_scenario(kernel, "ring_new", bn, bb))
-    # the executor pair: the same gram-kernel block run under the serial
-    # and the threaded step backend (results are bit-identical; only the
-    # wall time may differ, by however many cores the host offers)
+    # the executor pairs: the same gram-kernel block run under the
+    # serial, threaded and process step backends (results are
+    # bit-identical; only the wall time may differ, by however many
+    # cores the host offers — on a single-core host the parallel twins
+    # record parity plus dispatch overhead, and the gate only enforces
+    # no-regression)
     en, eb = (32, 4) if quick else (128, 8)
-    for executor in ("serial", "threads"):
-        out.append(_exec_scenario(executor, en, eb, workers=2))
+    for executor in ("serial", "threads", "processes"):
+        out.append(_exec_scenario(executor, en, eb,
+                                  workers=2 if quick else 4))
     # the sanitizer-overhead pair(s): the same gram block run with the
     # runtime sanitizer off and on — the "on" scenario reports its
     # overhead against the off twin
@@ -189,6 +216,12 @@ def default_scenarios(quick: bool = False) -> list[Scenario]:
             out.append(_batch_scenario("loop", bsize, 16, 4))
             out.append(_batch_scenario("batch", bsize, 16, 4))
         out.append(_batch_scenario("batch", 10000, 16, 4, paired=False))
+    # the routing pair: the per-message reference router against the
+    # vectorised hot path, over every communication phase of one
+    # compiled sweep (n leaves exchange n columns per step)
+    rn = 64 if quick else 256
+    for mode in ("loop", "vec"):
+        out.append(_route_scenario(mode, "ring_new", rn))
     pn = 8 if quick else 32
     out.append(
         Scenario(
@@ -349,6 +382,38 @@ def run_scenario(
                     matrices_per_sec=round(br.matrices_per_sec, 1),
                     sweeps_histogram={str(k): v for k, v
                                       in br.sweeps_histogram.items()},
+                )
+
+    elif scenario.kind == "routing":
+        from ..machine.routing import route_moves, route_phase
+        from ..machine.topology import make_topology
+        from ..orderings import make_ordering
+        from ..orderings.plan import compile_schedule
+
+        plan = compile_schedule(make_ordering(p["ordering"], p["n"]).sweep(0))
+        topology = make_topology(p["topology"], p["n"] // 2)
+        move_arrays = [s.move_leaves for s in plan.steps
+                       if len(s.move_leaves)]
+        require(bool(move_arrays),
+                f"{p['ordering']}(n={p['n']}) sweep has no communication "
+                f"phase to route")
+        if p["mode"] == "loop":
+            pair_lists = [[(int(s), int(d)) for s, d in ml]
+                          for ml in move_arrays]
+
+            def work() -> None:
+                phases = [route_phase(topology, pl) for pl in pair_lists]
+                meta.update(
+                    phases=len(phases),
+                    messages=sum(ph.n_messages for ph in phases),
+                )
+        else:
+            def work() -> None:
+                phases = [route_moves(topology, ml[:, 0], ml[:, 1])
+                          for ml in move_arrays]
+                meta.update(
+                    phases=len(phases),
+                    messages=sum(ph.n_messages for ph in phases),
                 )
 
     elif scenario.kind == "parallel-sweeps":

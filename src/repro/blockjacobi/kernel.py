@@ -49,6 +49,7 @@ from functools import lru_cache
 import numpy as np
 
 from ..eig.jacobi import gram_eigh_batched, gram_eigh_grouped
+from ..kernels import ComputeBackend, numpy_backend, resolve_compute_backend
 from ..svd.rotations import (
     RotationStats,
     apply_step_rotations,
@@ -112,6 +113,7 @@ def solve_block_pair(
     sort: str | None,
     inner_sweeps: int,
     kernel: str = "gram",
+    compute_backend: "str | ComputeBackend | None" = None,
 ) -> tuple[RotationStats, float]:
     """Orthogonalise the ``2b`` columns ``cols`` of ``X`` against each other.
 
@@ -123,7 +125,8 @@ def solve_block_pair(
     that makes sorted output emerge at block granularity.
     """
     return solve_block_step(X, V, [np.asarray(cols, dtype=np.intp)],
-                            tol, sort, inner_sweeps, kernel)
+                            tol, sort, inner_sweeps, kernel,
+                            compute_backend=compute_backend)
 
 
 def solve_block_step(
@@ -136,6 +139,7 @@ def solve_block_step(
     kernel: str = "gram",
     executor=None,
     sanitizer=None,
+    compute_backend: "str | ComputeBackend | None" = None,
 ) -> tuple[RotationStats, float]:
     """Solve every met block pair of one schedule step.
 
@@ -147,14 +151,22 @@ def solve_block_step(
     relative off-diagonal across all pairs.
 
     ``executor`` (a :class:`~repro.parallel.executor.StepExecutor`)
-    spreads the step's independent work over worker threads: the gram
-    kernel chunks only its gather/Gram-form and apply/scatter GEMM
-    phases — the inner Gram Jacobi stays one full-stack solve, because
-    its convergence floor couples matrices across the batch and
-    splitting it would change the rotation sequence — while the
-    per-pair kernels chunk the pair loop itself.  Either way the result
-    is bit-identical to the serial path for any worker count (see
-    :mod:`repro.parallel.executor` for the contract).
+    spreads the step's independent work over worker threads or
+    processes: the gram kernel chunks only its gather/Gram-form and
+    apply/scatter GEMM phases — the inner Gram Jacobi stays one
+    full-stack solve, because its convergence floor couples matrices
+    across the batch and splitting it would change the rotation
+    sequence — while the per-pair kernels chunk the pair loop itself.
+    The chunked phases are module-level *tasks* dispatched through
+    :meth:`~repro.parallel.executor.StepExecutor.run_shared`, so the
+    process backend ships bounds and shared-memory specs instead of
+    matrices.  Either way the result is bit-identical to the serial
+    path for any worker count (see :mod:`repro.parallel.executor` for
+    the contract).
+
+    ``compute_backend`` selects the batched-GEMM primitives
+    (:mod:`repro.kernels`); ``None`` resolves from
+    ``$REPRO_COMPUTE_BACKEND`` (default numpy).
 
     On :class:`~repro.util.errors.NumericalBreakdown` the step degrades
     gracefully: the pairs are re-solved one by one, each walking down
@@ -174,22 +186,51 @@ def solve_block_step(
     require(kernel in BLOCK_KERNELS,
             f"unknown block kernel {kernel!r}; "
             f"available: {', '.join(BLOCK_KERNELS)}")
+    backend = resolve_compute_backend(compute_backend)
     if sanitizer is None:
         return _solve_step_body(X, V, pair_cols, tol, sort, inner_sweeps,
-                                kernel, executor, None)
+                                kernel, executor, None, backend)
     expected = [frozenset(int(c) for c in pair_cols[i])
                 for i in range(len(pair_cols))]
     workers = 1 if executor is None else executor.workers
     sanitizer.begin_step(len(pair_cols), expected, workers=workers)
     try:
         out = _solve_step_body(X, V, pair_cols, tol, sort, inner_sweeps,
-                               kernel, executor, sanitizer)
+                               kernel, executor, sanitizer, backend)
     except BaseException:
         # the step never completed; its write-set record is meaningless
         sanitizer.abort_step()
         raise
     sanitizer.end_step()
     return out
+
+
+def _phase_bounds(executor, n_items: int,
+                  chunked: bool) -> list[tuple[int, int]]:
+    """The chunk bounds a dispatched phase ran with (for parent-side
+    sanitizer records: under the process backend ``record_touch`` cannot
+    run inside the workers, so the parent replays the deterministic
+    bounds after the dispatch settles)."""
+    if not chunked:
+        return [(0, n_items)] if n_items else []
+    return executor.chunk_bounds(n_items, executor.workers)
+
+
+def _task_solve_pairs(
+    arrays: dict, lo: int, hi: int, *, cols, tol, sort, inner_sweeps,
+    chain, backend,
+) -> tuple[RotationStats, float]:
+    """Chunk task of the per-pair kernels: solve pairs ``[lo, hi)``."""
+    X = arrays["X"]
+    V = arrays.get("V")
+    stats = RotationStats()
+    worst = 0.0
+    for i in range(lo, hi):
+        st, mx = _solve_pair_chain(X, V, cols[i], tol, sort,
+                                   inner_sweeps, chain, backend)
+        stats.merge(st)
+        worst = max(worst, mx)
+    return stats, worst
 
 
 def _solve_step_body(
@@ -202,38 +243,41 @@ def _solve_step_body(
     kernel: str,
     executor,
     sanitizer,
+    backend: ComputeBackend | None = None,
 ) -> tuple[RotationStats, float]:
     """The dispatch body of :func:`solve_block_step` (validated input)."""
+    backend = backend if backend is not None else numpy_backend()
     if kernel == "gram":
         try:
             return _solve_gram_many(X, V, pair_cols, tol, sort, inner_sweeps,
-                                    executor, sanitizer)
+                                    executor, sanitizer, backend)
         except NumericalBreakdown:
             pass  # isolate the poisoned pairs via the per-pair chain
     chain = FALLBACK_CHAINS[kernel]
-
-    def run_pairs(lo: int, hi: int) -> tuple[RotationStats, float]:
-        stats = RotationStats()
-        worst = 0.0
-        for i in range(lo, hi):
-            st, mx = _solve_pair_chain(X, V, pair_cols[i], tol, sort,
-                                       inner_sweeps, chain)
-            stats.merge(st)
-            worst = max(worst, mx)
-        if sanitizer is not None:
-            # the per-pair solvers rewrite every column of their pairs
+    n_pairs = len(pair_cols)
+    arrays = {"X": X}
+    if V is not None:
+        arrays["V"] = V
+    payload = dict(cols=pair_cols, tol=tol, sort=sort,
+                   inner_sweeps=inner_sweeps, chain=chain, backend=backend)
+    chunked = executor is not None and executor.workers > 1
+    if not chunked:
+        out = [_task_solve_pairs(arrays, 0, n_pairs, **payload)]
+    else:
+        # pairs touch disjoint columns, so the chunks are fully
+        # independent; results merge in chunk order for a deterministic
+        # reduction
+        out = executor.run_shared(n_pairs, _task_solve_pairs, arrays,
+                                  **payload)
+    if sanitizer is not None:
+        # the per-pair solvers rewrite every column of their pairs
+        for lo, hi in _phase_bounds(executor, n_pairs, chunked):
             sanitizer.record_touch(
                 lo, hi, np.concatenate([np.asarray(pair_cols[i])
                                         for i in range(lo, hi)]))
-        return stats, worst
-
-    if executor is None or executor.workers == 1:
-        return run_pairs(0, len(pair_cols))
-    # pairs touch disjoint columns, so the chunks are fully independent;
-    # stats are merged in chunk order for a deterministic reduction
     stats = RotationStats()
     worst = 0.0
-    for st, mx in executor.run_chunks(len(pair_cols), run_pairs):
+    for st, mx in out:
         stats.merge(st)
         worst = max(worst, mx)
     return stats, worst
@@ -247,6 +291,7 @@ def _solve_pair_chain(
     sort: str | None,
     inner_sweeps: int,
     chain: tuple[str, ...],
+    backend: ComputeBackend | None = None,
 ) -> tuple[RotationStats, float]:
     """Solve one block pair, falling down ``chain`` on breakdown."""
     last: NumericalBreakdown | None = None
@@ -255,7 +300,7 @@ def _solve_pair_chain(
         try:
             if kern == "gram":
                 st, mx = _solve_gram_many(X, V, [cols], tol, sort,
-                                          inner_sweeps)
+                                          inner_sweeps, backend=backend)
             elif kern == "batched":
                 st, mx = _solve_batched(X, V, cols, tol, sort, inner_sweeps)
             else:
@@ -439,6 +484,43 @@ def _apply_sort_only(
             sanitizer.record_touch(0, len(pair_cols), tgt)
 
 
+def _scratch(executor, key: str, shape: tuple[int, ...]) -> np.ndarray:
+    """Step scratch: executor-managed (shared memory under the process
+    backend) or plain ``np.empty`` without one."""
+    if executor is None:
+        return np.empty(shape)
+    return executor.scratch(key, shape)
+
+
+def _task_gram_form(arrays: dict, lo: int, hi: int, *, cols, k, m,
+                    backend) -> None:
+    """Gather chunk ``[lo, hi)`` of the step's columns and form its Gram
+    blocks — writes only its own ``Ys``/``G`` slices."""
+    X = arrays["X"]
+    Ys = arrays["Ys"]
+    G = arrays["G"]
+    XT = X.T
+    Ys[lo:hi] = XT[cols[lo:hi].reshape(-1)].reshape(hi - lo, k, m)
+    backend.gram(Ys[lo:hi], out=G[lo:hi])
+
+
+def _task_gram_apply(arrays: dict, lo: int, hi: int, *, cols, tgt, k, m, n,
+                     backend) -> None:
+    """Apply chunk ``[lo, hi)`` of the step's rotation factors and
+    scatter into the (disjoint) target columns."""
+    X = arrays["X"]
+    Ys = arrays["Ys"]
+    W = arrays["W"]
+    V = arrays.get("V")
+    out = backend.apply_wt(W[lo:hi], Ys[lo:hi])  # (Y_i W_i)^T
+    t = tgt[lo:hi].reshape(-1)
+    X[:, t] = out.reshape((hi - lo) * k, m).T
+    if V is not None:
+        Vs = V.T[cols[lo:hi].reshape(-1)].reshape(hi - lo, k, n)
+        vout = backend.apply_wt(W[lo:hi], Vs)
+        V[:, t] = vout.reshape((hi - lo) * k, n).T
+
+
 def _solve_gram_many(
     X: np.ndarray,
     V: np.ndarray | None,
@@ -448,6 +530,7 @@ def _solve_gram_many(
     inner_sweeps: int,
     executor=None,
     sanitizer=None,
+    backend: ComputeBackend | None = None,
 ) -> tuple[RotationStats, float]:
     """BLAS-3 Gram-space solve of a whole step's met pairs at once.
 
@@ -467,6 +550,7 @@ def _solve_gram_many(
     batch would receive extra rotations if batches were split), so
     chunking it would break the determinism contract.
     """
+    backend = backend if backend is not None else numpy_backend()
     stats = RotationStats()
     k = len(pair_cols[0])
     require(all(len(c) == k for c in pair_cols),
@@ -474,20 +558,16 @@ def _solve_gram_many(
     cols_arr = np.asarray(pair_cols, dtype=np.intp)
     nb = len(cols_arr)
     m = X.shape[0]
-    allcols = cols_arr.reshape(-1)
-    XT = X.T
-    Ys = np.empty((nb, k, m))  # Ys[i] = Y_i^T
-    G = np.empty((nb, k, k))
-
-    def form_gram(lo: int, hi: int) -> None:
-        Ys[lo:hi] = XT[cols_arr[lo:hi].reshape(-1)].reshape(hi - lo, k, m)
-        np.matmul(Ys[lo:hi], Ys[lo:hi].transpose(0, 2, 1), out=G[lo:hi])
+    Ys = _scratch(executor, "Ys", (nb, k, m))  # Ys[i] = Y_i^T
+    G = _scratch(executor, "G", (nb, k, k))
 
     chunked = executor is not None and executor.workers > 1
+    form_arrays = {"X": X, "Ys": Ys, "G": G}
+    form_payload = dict(cols=cols_arr, k=k, m=m, backend=backend)
     if chunked:
-        executor.run_chunks(nb, form_gram)
+        executor.run_shared(nb, _task_gram_form, form_arrays, **form_payload)
     else:
-        form_gram(0, nb)
+        _task_gram_form(form_arrays, 0, nb, **form_payload)
     finite = np.isfinite(G)
     if not finite.all():
         # breakdown sentinel: raise before any column is touched so the
@@ -514,7 +594,7 @@ def _solve_gram_many(
         return stats, worst
     W, rotations, _, _ = gram_eigh_batched(G, tol=tol,
                                            max_sweeps=inner_sweeps,
-                                           floor=floor)
+                                           floor=floor, backend=backend)
     if not np.isfinite(W).all():
         raise NumericalBreakdown(
             "non-finite rotation factor from the inner Gram Jacobi")
@@ -529,24 +609,26 @@ def _solve_gram_many(
         tgt_arr = np.sort(cols_arr, axis=1)
     else:
         tgt_arr = cols_arr
-    VT = V.T if V is not None else None
     n = V.shape[0] if V is not None else 0
-
-    def apply_scatter(lo: int, hi: int) -> None:
-        out = W[lo:hi].transpose(0, 2, 1) @ Ys[lo:hi]  # (Y_i W_i)^T
-        tgt = tgt_arr[lo:hi].reshape(-1)
-        X[:, tgt] = out.reshape((hi - lo) * k, m).T
-        if VT is not None:
-            Vs = VT[cols_arr[lo:hi].reshape(-1)].reshape(hi - lo, k, n)
-            vout = W[lo:hi].transpose(0, 2, 1) @ Vs
-            V[:, tgt] = vout.reshape((hi - lo) * k, n).T
-        if sanitizer is not None:
-            sanitizer.record_touch(lo, hi, tgt)
-
     if chunked:
-        executor.run_chunks(nb, apply_scatter)
+        # the rotation factors cross the process boundary as shared
+        # memory too: one small copy instead of per-chunk pickles
+        Wb = _scratch(executor, "W", W.shape)
+        Wb[...] = W
+        W = Wb
+    apply_arrays = {"X": X, "Ys": Ys, "W": W}
+    if V is not None:
+        apply_arrays["V"] = V
+    apply_payload = dict(cols=cols_arr, tgt=tgt_arr, k=k, m=m, n=n,
+                         backend=backend)
+    if chunked:
+        executor.run_shared(nb, _task_gram_apply, apply_arrays,
+                            **apply_payload)
     else:
-        apply_scatter(0, nb)
+        _task_gram_apply(apply_arrays, 0, nb, **apply_payload)
+    if sanitizer is not None:
+        for lo, hi in _phase_bounds(executor, nb, chunked):
+            sanitizer.record_touch(lo, hi, tgt_arr[lo:hi].reshape(-1))
     return stats, worst
 
 
@@ -560,6 +642,7 @@ def solve_block_step_batch(
     inner_sweeps: int,
     kernel: str = "gram",
     executor=None,
+    compute_backend: "str | ComputeBackend | None" = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Solve one schedule step for *many problem matrices* at once.
 
@@ -595,31 +678,45 @@ def solve_block_step_batch(
     items = np.asarray(items, dtype=np.intp)
     if items.size == 0 or len(pair_cols) == 0:
         return np.zeros(items.size, dtype=np.intp), np.zeros(items.size)
+    backend = resolve_compute_backend(compute_backend)
 
-    def run_items(lo: int, hi: int) -> tuple[np.ndarray, np.ndarray]:
-        sub = items[lo:hi]
-        if kernel == "gram":
-            return _solve_gram_batch(Xs, Vs, sub, pair_cols, tol, sort,
-                                     inner_sweeps)
-        applied = np.zeros(hi - lo, dtype=np.intp)
-        worst = np.zeros(hi - lo)
-        for j, i in enumerate(sub):
-            st, mx = _solve_step_body(
-                Xs[i], None if Vs is None else Vs[i], pair_cols, tol, sort,
-                inner_sweeps, kernel, None, None)
-            applied[j] = st.applied
-            worst[j] = mx
-        return applied, worst
-
+    arrays = {"Xs": Xs}
+    if Vs is not None:
+        arrays["Vs"] = Vs
+    payload = dict(items=items, cols=pair_cols, tol=tol, sort=sort,
+                   inner_sweeps=inner_sweeps, kernel=kernel, backend=backend)
     if executor is None or executor.workers == 1 or items.size == 1:
-        return run_items(0, items.size)
+        return _task_batch_items(arrays, 0, items.size, **payload)
     applied = np.empty(items.size, dtype=np.intp)
     worst = np.empty(items.size)
     pos = 0
-    for ap, wo in executor.run_chunks(items.size, run_items):
+    for ap, wo in executor.run_shared(items.size, _task_batch_items,
+                                      arrays, **payload):
         applied[pos:pos + len(ap)] = ap
         worst[pos:pos + len(wo)] = wo
         pos += len(ap)
+    return applied, worst
+
+
+def _task_batch_items(
+    arrays: dict, lo: int, hi: int, *, items, cols, tol, sort,
+    inner_sweeps, kernel, backend,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Chunk task of the batch path: solve batch items ``[lo, hi)``."""
+    Xs = arrays["Xs"]
+    Vs = arrays.get("Vs")
+    sub = items[lo:hi]
+    if kernel == "gram":
+        return _solve_gram_batch(Xs, Vs, sub, cols, tol, sort,
+                                 inner_sweeps, backend)
+    applied = np.zeros(hi - lo, dtype=np.intp)
+    worst = np.zeros(hi - lo)
+    for j, i in enumerate(sub):
+        st, mx = _solve_step_body(
+            Xs[i], None if Vs is None else Vs[i], cols, tol, sort,
+            inner_sweeps, kernel, None, None, backend)
+        applied[j] = st.applied
+        worst[j] = mx
     return applied, worst
 
 
@@ -669,12 +766,14 @@ def _solve_gram_batch(
     tol: float,
     sort: str | None,
     inner_sweeps: int,
+    backend: ComputeBackend | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """The gram kernel's problem-axis super-batch (see
     :func:`solve_block_step_batch`): :func:`_solve_gram_many` with the
     batch dimension extended from ``n_pairs`` to ``B x n_pairs`` and
     every per-matrix decision (sort-only early exit, inner-Jacobi
     convergence, breakdown delegation) taken per problem."""
+    backend = backend if backend is not None else numpy_backend()
     nm = items.size
     k = len(pair_cols[0])
     require(all(len(c) == k for c in pair_cols),
@@ -688,7 +787,7 @@ def _solve_gram_batch(
 
     XsT = Xs.transpose(0, 2, 1)  # (B, n, m) view of the column stacks
     Ys = XsT[np.ix_(items, allcols)].reshape(nm * nb, k, m)
-    G = np.matmul(Ys, Ys.transpose(0, 2, 1))
+    G = backend.gram(Ys)
 
     def delegate(j: int) -> None:
         # the solo path re-forms this item's Gram blocks from its still
@@ -696,7 +795,7 @@ def _solve_gram_batch(
         # fallback chain — bit-identical to a standalone run
         st, mx = _solve_step_body(
             Xs[items[j]], None if Vs is None else Vs[items[j]], pair_cols,
-            tol, sort, inner_sweeps, "gram", None, None)
+            tol, sort, inner_sweeps, "gram", None, None, backend)
         applied[j] = st.applied
         worst_out[j] = mx
 
@@ -734,7 +833,8 @@ def _solve_gram_batch(
     sel_sv = _expand_groups(sv_local, nb)
     Gs = G[sel_sv]
     Ws, rots, _, _ = gram_eigh_grouped(Gs, tol=tol, max_sweeps=inner_sweeps,
-                                       floor=floor[sel_sv], group_size=nb)
+                                       floor=floor[sel_sv], group_size=nb,
+                                       backend=backend)
     wfin = np.isfinite(Ws).reshape(sv_local.size, -1).all(axis=1)
     for j_local in np.flatnonzero(~wfin):
         delegate(int(keep[sv_local[j_local]]))
@@ -755,13 +855,13 @@ def _solve_gram_batch(
     else:
         tgt_flat = allcols
     rows = items[keep[sv_local[ok_local]]]
-    out = W_ok.transpose(0, 2, 1) @ Ys_ok  # (Y_i W_i)^T per pair
+    out = backend.apply_wt(W_ok, Ys_ok)  # (Y_i W_i)^T per pair
     XsT[np.ix_(rows, tgt_flat)] = out.reshape(rows.size, nb * k, m)
     if Vs is not None:
         n = Vs.shape[2]
         VsT = Vs.transpose(0, 2, 1)
         Vg = VsT[np.ix_(rows, allcols)].reshape(rows.size * nb, k, n)
-        vout = W_ok.transpose(0, 2, 1) @ Vg
+        vout = backend.apply_wt(W_ok, Vg)
         VsT[np.ix_(rows, tgt_flat)] = vout.reshape(rows.size, nb * k, n)
     applied[keep[sv_local[ok_local]]] = rots[ok_local]
     return applied, worst_out

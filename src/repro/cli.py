@@ -73,13 +73,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run at block granularity with B columns per "
                           "schedule unit (default: scalar, 1 column)")
     run.add_argument("--executor", default=None,
-                     choices=["serial", "threads"],
-                     help="block step-execution backend (threads splits each "
-                          "step's pair subproblems across worker threads, "
-                          "bit-identical to serial; needs --block-size)")
+                     choices=["serial", "threads", "processes"],
+                     help="block step-execution backend (threads/processes "
+                          "split each step's pair subproblems across "
+                          "workers, bit-identical to serial; processes work "
+                          "on shared-memory views; needs --block-size)")
     run.add_argument("--workers", type=int, default=None, metavar="W",
-                     help="worker threads of --executor threads "
+                     help="workers of --executor threads/processes "
                           "(default: $REPRO_WORKERS or the CPU count)")
+    run.add_argument("--compute-backend", default=None,
+                     choices=["numpy", "einsum", "numba", "cupy"],
+                     help="batched-GEMM backend of the block kernels "
+                          "(einsum is bit-identical to numpy; numba/cupy "
+                          "are optional and fall back to numpy when "
+                          "unavailable; needs --block-size)")
     run.add_argument("--sanitize", action="store_true",
                      help="arm the runtime sanitizer (write-set records + "
                           "sweep-boundary numeric canaries; needs "
@@ -324,6 +331,9 @@ def _svd(args: argparse.Namespace) -> int:
     if args.workers is not None and args.block_size is None:
         print("--workers applies to block mode; pass --block-size B")
         return 2
+    if args.compute_backend is not None and args.block_size is None:
+        print("--compute-backend applies to block mode; pass --block-size B")
+        return 2
     if args.max_sweeps is not None and args.max_sweeps < 1:
         print("--max-sweeps must be >= 1")
         return 2
@@ -383,6 +393,7 @@ def _svd(args: argparse.Namespace) -> int:
             batch = svd_batch(stack, ordering=args.ordering,
                               kernel=args.kernel, block_size=args.block_size,
                               executor=args.executor, workers=args.workers,
+                              compute_backend=args.compute_backend,
                               options=options)
         print(f"batch of {len(batch)}: {batch.summary()}")
         print(f"elapsed={batch.elapsed_s:.3f}s "
@@ -409,7 +420,8 @@ def _svd(args: argparse.Namespace) -> int:
 
             r = svd(a, ordering=args.ordering, kernel=args.kernel,
                     block_size=args.block_size, executor=args.executor,
-                    workers=args.workers, options=options)
+                    workers=args.workers,
+                    compute_backend=args.compute_backend, options=options)
             print(f"converged={r.converged} sweeps={r.sweeps} "
                   f"rotations={r.rotations} sorted={r.emerged_sorted}")
         else:
@@ -419,8 +431,9 @@ def _svd(args: argparse.Namespace) -> int:
                                   ordering=args.ordering, kernel=args.kernel,
                                   block_size=args.block_size,
                                   executor=args.executor,
-                                  workers=args.workers, options=options,
-                                  fault_plan=plan)
+                                  workers=args.workers,
+                                  compute_backend=args.compute_backend,
+                                  options=options, fault_plan=plan)
             print(f"converged={r.converged} sweeps={r.sweeps}")
             print(f"total={rep.total_time:.0f} compute={rep.compute_time:.0f} "
                   f"comm={rep.comm_time:.0f}")

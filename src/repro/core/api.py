@@ -56,15 +56,17 @@ def _block_options(
     block_size: int | None,
     executor: str | None = None,
     workers: int | None = None,
+    compute_backend: str | None = None,
 ) -> BlockJacobiOptions | None:
     """Resolve the block-mode options, or ``None`` for scalar mode.
 
     Block mode is requested by ``block_size`` or by passing a
     :class:`BlockJacobiOptions` directly; scalar ``JacobiOptions`` carry
-    their shared knobs (tol, max_sweeps, sort) over.  A block-only
-    kernel (``"gram"``) without a block size is a usage error, as is an
-    explicit step executor (the scalar kernels have no independent pair
-    subproblems to hand to worker threads).
+    their shared knobs (tol, max_sweeps, sort, compute_backend) over.  A
+    block-only kernel (``"gram"``) without a block size is a usage
+    error, as is an explicit step executor or compute backend (the
+    scalar kernels have no independent pair subproblems to hand to
+    workers and no GEMM phase to retarget).
     """
     if block_size is None and not isinstance(options, BlockJacobiOptions):
         require(kernel != "gram",
@@ -74,6 +76,9 @@ def _block_options(
                 "pass block_size=...")
         require(workers is None,
                 "workers= applies to block mode only; pass block_size=...")
+        require(compute_backend is None,
+                f"compute_backend={compute_backend!r} applies to block "
+                "mode only; pass block_size=...")
         return None
     if isinstance(options, BlockJacobiOptions):
         base = options
@@ -83,7 +88,8 @@ def _block_options(
         shared = {}
         if options is not None:
             shared = {"tol": options.tol, "max_sweeps": options.max_sweeps,
-                      "sort": options.sort}
+                      "sort": options.sort,
+                      "compute_backend": options.compute_backend}
         base = BlockJacobiOptions(block_size=block_size, **shared)
     if kernel is not None:
         require(kernel in BLOCK_KERNELS,
@@ -94,6 +100,8 @@ def _block_options(
         base = dataclasses.replace(base, executor=executor)
     if workers is not None:
         base = dataclasses.replace(base, workers=workers)
+    if compute_backend is not None:
+        base = dataclasses.replace(base, compute_backend=compute_backend)
     return base
 
 
@@ -105,6 +113,7 @@ def svd(
     block_size: int | None = None,
     executor: str | None = None,
     workers: int | None = None,
+    compute_backend: str | None = None,
     fault_plan: "FaultPlan | None" = None,
     **ordering_kwargs: object,
 ) -> SVDResult:
@@ -125,9 +134,11 @@ def svd(
     decided at block granularity.
 
     ``executor``/``workers`` pick the step-execution backend of block
-    mode (``"serial"`` or ``"threads"``; threads split each step's
-    independent pair subproblems across worker threads, bit-identical
-    to serial) — see :mod:`repro.parallel.executor`.
+    mode (``"serial"``, ``"threads"`` or ``"processes"``; workers split
+    each step's independent pair subproblems, bit-identical to serial —
+    processes work on shared-memory views of the column buffer) — see
+    :mod:`repro.parallel.executor`.  ``compute_backend`` retargets the
+    block kernels' batched GEMM phases (:mod:`repro.kernels`).
 
     ``fault_plan`` (a :class:`~repro.faults.FaultPlan`) runs the
     decomposition on the simulated tree machine under fault injection
@@ -141,9 +152,11 @@ def svd(
         result, _ = parallel_svd(
             a, topology="perfect", ordering=ordering, options=options,
             kernel=kernel, block_size=block_size, executor=executor,
-            workers=workers, fault_plan=fault_plan, **ordering_kwargs)
+            workers=workers, compute_backend=compute_backend,
+            fault_plan=fault_plan, **ordering_kwargs)
         return result
-    bopts = _block_options(options, kernel, block_size, executor, workers)
+    bopts = _block_options(options, kernel, block_size, executor, workers,
+                           compute_backend)
     n = a.shape[1]
     pow2 = _needs_power_of_two(ordering)
     if bopts is not None:
@@ -180,6 +193,7 @@ def parallel_svd(
     block_size: int | None = None,
     executor: str | None = None,
     workers: int | None = None,
+    compute_backend: str | None = None,
     fault_plan: "FaultPlan | None" = None,
     **ordering_kwargs: object,
 ) -> tuple[SVDResult, ParallelRunReport]:
@@ -188,8 +202,9 @@ def parallel_svd(
     ``block_size=b`` runs the machine at block granularity: ``n / b``
     schedule units, ``b``-column messages, block kernels on the leaves
     (the BLAS-3 gram kernel by default).  ``executor``/``workers``
-    choose the block step-execution backend (``"serial"`` or
-    ``"threads"``, bit-identical) — see :mod:`repro.parallel.executor`.
+    choose the block step-execution backend (``"serial"``, ``"threads"``
+    or ``"processes"``, bit-identical) and ``compute_backend`` the GEMM
+    backend — see :mod:`repro.parallel.executor` / :mod:`repro.kernels`.
 
     ``fault_plan`` (a :class:`~repro.faults.FaultPlan`) injects the
     planned faults during the run; the machine recovers via the ack/seq
@@ -199,7 +214,8 @@ def parallel_svd(
     explicit ``converged=False`` result — never silently wrong output.
     """
     a = as_float_matrix(a, "a")
-    bopts = _block_options(options, kernel, block_size, executor, workers)
+    bopts = _block_options(options, kernel, block_size, executor, workers,
+                           compute_backend)
     pow2 = _needs_power_of_two(ordering)
     if bopts is not None:
         options = bopts
@@ -248,6 +264,7 @@ def svd_batch(
     block_size: int | None = None,
     executor: str | None = None,
     workers: int | None = None,
+    compute_backend: str | None = None,
     **ordering_kwargs: object,
 ) -> BatchResult:
     """Jacobi SVD of many independent same-shape matrices at once.
@@ -266,7 +283,8 @@ def svd_batch(
     solves fuse the whole batch into stacked GEMMs, with per-item
     convergence masks dropping finished matrices out of later sweeps
     (:func:`~repro.blockjacobi.driver.block_jacobi_svd_batch`).
-    ``executor="threads"`` chunks *batch items* across workers, so
+    ``executor="threads"`` / ``"processes"`` chunk *batch items* across
+    workers (processes via shared-memory views of the stack), so
     throughput scales with cores while the bits stay those of a serial
     loop.  Scalar mode (no ``block_size``) falls back to a plain loop of
     :func:`svd`.
@@ -282,7 +300,8 @@ def svd_batch(
     if not ok.all():
         i = int(np.flatnonzero(~ok)[0])
         require_finite(stack[i], f"matrices[{i}]")
-    bopts = _block_options(options, kernel, block_size, executor, workers)
+    bopts = _block_options(options, kernel, block_size, executor, workers,
+                           compute_backend)
     pow2 = _needs_power_of_two(ordering)
     before = plan_cache_stats()
     t0 = time.perf_counter()

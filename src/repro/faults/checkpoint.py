@@ -57,9 +57,18 @@ def take_checkpoint(machine: "TreeMachine") -> MachineCheckpoint:
 
 
 def restore_checkpoint(machine: "TreeMachine", cp: MachineCheckpoint) -> None:
-    """Rewind the machine's numerics to ``cp`` (degradation state kept)."""
-    machine.X = cp.X.copy()
-    machine.V = cp.V.copy() if cp.V is not None else None
+    """Rewind the machine's numerics to ``cp`` (degradation state kept).
+
+    ``X``/``V`` are restored **in place**: when the machine runs under
+    the processes executor they are shared-memory views the worker pool
+    holds by name, so rebinding them to fresh copies would silently
+    detach the rollback from the arrays the workers keep writing.
+    """
+    machine.X[...] = cp.X
+    if cp.V is not None:
+        machine.V[...] = cp.V
+    else:
+        machine.V = None
     machine.labels = cp.labels.copy()
     machine._norms_sq = (cp.norms_sq.copy()
                          if cp.norms_sq is not None else None)

@@ -1,0 +1,327 @@
+"""Pluggable compute backends for the batched GEMM phases.
+
+Every flop-dominant phase of the block kernels is a *batched* small-GEMM
+over a ``(B, k, *)`` stack: the Gram form ``G_i = Y_i Y_i^T``, the inner
+Jacobi's rotation updates ``J^T G J`` / ``W J``, and the apply/scatter
+``(Y_i W_i)^T = W_i^T Y_i``.  A :class:`ComputeBackend` bundles exactly
+those three primitives, so a kernel is retargeted by swapping one
+object — the dispatch seam the hierarchically blocked multi-GPU Jacobi
+SVD literature exploits (see PAPERS.md).
+
+Backends
+--------
+``numpy``
+    ``np.matmul`` on the stack — the reference arithmetic everything
+    else is compared against.
+``einsum``
+    The same contractions phrased as ``np.einsum(..., optimize=True)``.
+    **Bit-identical to numpy**: the optimized einsum paths for these
+    contractions lower to the same BLAS batched-matmul calls.  The one
+    exception is the Gram form at batch size 1, where einsum takes a
+    different internal dispatch whose accumulation order differs; that
+    case is routed through ``np.matmul`` so the bit-identity guarantee
+    holds unconditionally (single-pair steps do hit ``B == 1``).
+``numba`` *(optional)*
+    Loop-jitted batched matmul, registered only when ``numba`` imports
+    and a probe compilation succeeds.  Scalar accumulation order is not
+    the BLAS order, so this backend is tolerance-equal, not bit-equal.
+``cupy`` *(optional)*
+    Device matmul with host round-trips, registered only when ``cupy``
+    imports and a device probe succeeds.  Tolerance-equal only.
+
+Backends whose probe fails stay *registered but unavailable*, with the
+captured failure reason — :func:`compute_backend_status` reports it and
+:func:`resolve_compute_backend` either falls back to numpy with a
+:class:`ComputeBackendWarning` or (``fallback=False``) raises it.
+
+Selection: ``BlockJacobiOptions(compute_backend=...)`` /
+``JacobiOptions(compute_backend=...)``, the CLI ``--compute-backend``,
+or ``$REPRO_COMPUTE_BACKEND``.
+
+Backend objects are plain dataclasses of module-level functions, so
+they pickle by reference — the process executor ships them to workers
+inside task payloads for free.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..util.validation import require
+
+__all__ = [
+    "COMPUTE_BACKENDS",
+    "ComputeBackend",
+    "ComputeBackendWarning",
+    "available_compute_backends",
+    "compute_backend_status",
+    "default_compute_backend_name",
+    "numpy_backend",
+    "resolve_compute_backend",
+]
+
+#: registered backend names, in registration order; the optional ones
+#: may be unavailable on a given host (see compute_backend_status)
+COMPUTE_BACKENDS = ("numpy", "einsum", "numba", "cupy")
+
+
+class ComputeBackendWarning(UserWarning):
+    """A requested compute backend is unavailable; numpy is used instead."""
+
+
+@dataclass(frozen=True)
+class ComputeBackend:
+    """The three batched primitives the block kernels dispatch through.
+
+    ``matmul(a, b, out=None)``
+        ``(B, i, j) @ (B, j, k)`` stack product.
+    ``gram(y, out=None)``
+        ``(B, k, m) -> (B, k, k)``: ``y @ y^T`` per stack entry.
+    ``apply_wt(w, y)``
+        ``(B, k, k), (B, k, m) -> (B, k, m)``: ``w^T @ y`` per entry.
+
+    ``bit_identical`` states whether the backend is guaranteed
+    bit-identical to the numpy reference (enforced by the
+    kernel-equivalence suite for the backends that claim it).
+    """
+
+    name: str
+    matmul: Callable[..., np.ndarray]
+    gram: Callable[..., np.ndarray]
+    apply_wt: Callable[..., np.ndarray]
+    bit_identical: bool = True
+
+
+# ---------------------------------------------------------------- numpy
+
+def _np_matmul(a, b, out=None):
+    return np.matmul(a, b, out=out)
+
+
+def _np_gram(y, out=None):
+    return np.matmul(y, y.transpose(0, 2, 1), out=out)
+
+
+def _np_apply_wt(w, y):
+    return np.matmul(w.transpose(0, 2, 1), y)
+
+
+# --------------------------------------------------------------- einsum
+
+def _es_matmul(a, b, out=None):
+    return np.einsum("bij,bjk->bik", a, b, out=out, optimize=True)
+
+
+def _es_gram(y, out=None):
+    if y.shape[0] == 1:
+        # einsum's single-entry contraction takes an internal path whose
+        # accumulation order differs from matmul; keep bit-identity
+        return np.matmul(y, y.transpose(0, 2, 1), out=out)
+    return np.einsum("bik,bjk->bij", y, y, out=out, optimize=True)
+
+
+def _es_apply_wt(w, y):
+    return np.einsum("bki,bkj->bij", w, y, optimize=True)
+
+
+# --------------------------------------------------------------- numba
+
+_NB_BMM = None
+
+
+def _nb_compiled():
+    global _NB_BMM
+    if _NB_BMM is None:
+        import numba
+
+        @numba.njit(cache=False, parallel=False, fastmath=False)
+        def bmm(a, b, out):  # pragma: no cover - needs numba installed
+            nbatch, ni, nk = a.shape
+            nj = b.shape[2]
+            for t in range(nbatch):
+                for i in range(ni):
+                    for j in range(nj):
+                        acc = 0.0
+                        for l in range(nk):
+                            acc += a[t, i, l] * b[t, l, j]
+                        out[t, i, j] = acc
+
+        _NB_BMM = bmm
+    return _NB_BMM
+
+
+def _nb_matmul(a, b, out=None):  # pragma: no cover - needs numba installed
+    if out is None:
+        out = np.empty((a.shape[0], a.shape[1], b.shape[2]))
+    _nb_compiled()(np.ascontiguousarray(a), np.ascontiguousarray(b), out)
+    return out
+
+
+def _nb_gram(y, out=None):  # pragma: no cover - needs numba installed
+    return _nb_matmul(y, y.transpose(0, 2, 1), out=out)
+
+
+def _nb_apply_wt(w, y):  # pragma: no cover - needs numba installed
+    return _nb_matmul(w.transpose(0, 2, 1), y)
+
+
+# ---------------------------------------------------------------- cupy
+
+def _cp_matmul(a, b, out=None):  # pragma: no cover - needs cupy + device
+    import cupy
+
+    r = cupy.asnumpy(cupy.matmul(cupy.asarray(a), cupy.asarray(b)))
+    if out is not None:
+        out[...] = r
+        return out
+    return r
+
+
+def _cp_gram(y, out=None):  # pragma: no cover - needs cupy + device
+    return _cp_matmul(y, y.transpose(0, 2, 1), out=out)
+
+
+def _cp_apply_wt(w, y):  # pragma: no cover - needs cupy + device
+    return _cp_matmul(w.transpose(0, 2, 1), y)
+
+
+# -------------------------------------------------------------- probes
+
+def _probe_numpy() -> ComputeBackend:
+    return ComputeBackend("numpy", _np_matmul, _np_gram, _np_apply_wt)
+
+
+def _probe_einsum() -> ComputeBackend:
+    return ComputeBackend("einsum", _es_matmul, _es_gram, _es_apply_wt)
+
+
+_PROBE_A = np.arange(12.0).reshape(2, 2, 3)
+_PROBE_B = np.arange(12.0, 24.0).reshape(2, 3, 2)
+
+
+def _probe_numba() -> ComputeBackend:
+    import numba  # noqa: F401  (the import is the gate)
+
+    # capability probe: compile and check a tiny product before claiming
+    # the backend works (a broken toolchain degrades to unavailable)
+    got = _nb_matmul(_PROBE_A, _PROBE_B)
+    if not np.allclose(got, np.matmul(_PROBE_A, _PROBE_B)):  # pragma: no cover
+        raise RuntimeError("numba probe product mismatch")
+    return ComputeBackend("numba", _nb_matmul, _nb_gram, _nb_apply_wt,
+                          bit_identical=False)
+
+
+def _probe_cupy() -> ComputeBackend:
+    import cupy
+
+    if cupy.cuda.runtime.getDeviceCount() < 1:  # pragma: no cover
+        raise RuntimeError("no CUDA device visible")
+    got = _cp_matmul(_PROBE_A, _PROBE_B)  # pragma: no cover
+    if not np.allclose(got, np.matmul(_PROBE_A, _PROBE_B)):  # pragma: no cover
+        raise RuntimeError("cupy probe product mismatch")
+    return ComputeBackend("cupy", _cp_matmul, _cp_gram, _cp_apply_wt,  # pragma: no cover
+                          bit_identical=False)
+
+
+#: probe table — tests may monkeypatch an entry to simulate a missing
+#: or broken optional backend
+_PROBES: dict[str, Callable[[], ComputeBackend]] = {
+    "numpy": _probe_numpy,
+    "einsum": _probe_einsum,
+    "numba": _probe_numba,
+    "cupy": _probe_cupy,
+}
+
+#: probe results, cached per process: name -> (backend-or-None, reason)
+_CACHE: dict[str, tuple[ComputeBackend | None, str | None]] = {}
+
+
+def _probe(name: str) -> tuple[ComputeBackend | None, str | None]:
+    hit = _CACHE.get(name)
+    if hit is None:
+        try:
+            hit = (_PROBES[name](), None)
+        except Exception as exc:  # noqa: BLE001 - reason is the product
+            hit = (None, f"{type(exc).__name__}: {exc}")
+        _CACHE[name] = hit
+    return hit
+
+
+def clear_backend_cache() -> None:
+    """Forget probe results (tests re-probing after monkeypatching)."""
+    _CACHE.clear()
+
+
+def numpy_backend() -> ComputeBackend:
+    """The reference backend (always available)."""
+    backend, _ = _probe("numpy")
+    assert backend is not None
+    return backend
+
+
+def compute_backend_status() -> dict[str, str | None]:
+    """Per-backend availability: ``None`` when usable, else the captured
+    probe-failure reason (import error, missing device, ...)."""
+    return {name: _probe(name)[1] for name in COMPUTE_BACKENDS}
+
+
+def available_compute_backends() -> tuple[str, ...]:
+    """Names of the backends that probed successfully on this host."""
+    return tuple(n for n in COMPUTE_BACKENDS if _probe(n)[1] is None)
+
+
+def _catalogue() -> str:
+    status = compute_backend_status()
+    ok = [n for n in COMPUTE_BACKENDS if status[n] is None]
+    msg = f"available: {', '.join(ok)}"
+    broken = [(n, status[n]) for n in COMPUTE_BACKENDS
+              if status[n] is not None]
+    if broken:
+        msg += "; unavailable: " + "; ".join(
+            f"{n} ({reason})" for n, reason in broken)
+    return msg
+
+
+def default_compute_backend_name() -> str:
+    """Backend used when none is requested: ``$REPRO_COMPUTE_BACKEND``
+    or numpy."""
+    name = os.environ.get("REPRO_COMPUTE_BACKEND", "numpy").strip() or "numpy"
+    require(name in COMPUTE_BACKENDS,
+            f"REPRO_COMPUTE_BACKEND={name!r} is not one of "
+            f"{', '.join(COMPUTE_BACKENDS)}")
+    return name
+
+
+def resolve_compute_backend(
+    name: "str | ComputeBackend | None" = None,
+    *,
+    fallback: bool = True,
+) -> ComputeBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    ``None`` resolves from ``$REPRO_COMPUTE_BACKEND`` (default numpy).
+    An unknown name raises with the full catalogue, including why each
+    unavailable backend failed its probe.  A registered-but-unavailable
+    backend falls back to numpy with a :class:`ComputeBackendWarning`,
+    or raises when ``fallback=False``.
+    """
+    if isinstance(name, ComputeBackend):
+        return name
+    name = default_compute_backend_name() if name is None else name
+    require(name in COMPUTE_BACKENDS,
+            f"unknown compute backend {name!r}; {_catalogue()}")
+    backend, reason = _probe(name)
+    if backend is not None:
+        return backend
+    if not fallback:
+        raise ValueError(
+            f"compute backend {name!r} is unavailable on this host: {reason}")
+    warnings.warn(
+        f"compute backend {name!r} is unavailable ({reason}); "
+        "falling back to numpy", ComputeBackendWarning, stacklevel=2)
+    return numpy_backend()

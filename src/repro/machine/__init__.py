@@ -9,7 +9,7 @@ from .collectives import (
     tree_scan,
 )
 from .costmodel import CostModel
-from .routing import MessagePhase, route_phase
+from .routing import MessagePhase, route_moves, route_phase
 from .simulator import TreeMachine
 from .stats import StepRecord, SweepStats
 from .trace import UtilizationSummary, render_gantt, render_timeline, utilization
@@ -48,5 +48,6 @@ __all__ = [
     "TreeMachine",
     "TreeTopology",
     "make_topology",
+    "route_moves",
     "route_phase",
 ]

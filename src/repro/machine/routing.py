@@ -13,9 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Iterable
 
+import numpy as np
+
+from ..util.validation import require
 from .topology import Channel, TreeTopology
 
-__all__ = ["MessagePhase", "remap_leaves", "route_phase"]
+__all__ = ["MessagePhase", "remap_leaves", "route_moves", "route_phase"]
 
 
 @dataclass
@@ -81,6 +84,97 @@ def route_phase(
         channel_loads=loads,
         max_level=max_level,
         level_message_counts=dict(sorted(level_counts.items())),
+        contention=contention,
+        hot_channel=hot,
+    )
+
+
+def route_moves(
+    topology: TreeTopology, sources: np.ndarray, destinations: np.ndarray
+) -> MessagePhase:
+    """Vectorised :func:`route_phase` over move-endpoint index arrays.
+
+    Routes the same messages without a per-message Python loop: message
+    levels come from one XOR + exponent extraction, and per-level channel
+    loads from ``np.unique`` counts of the shifted endpoint indices (a
+    level-``k`` channel's subtree index is just ``leaf >> (k - 1)``, so
+    aggregation never materialises the paths).  This is the hot-path
+    router behind :meth:`~repro.orderings.plan.CompiledSchedule.route_phase`.
+
+    Equivalence contract with :func:`route_phase`: ``n_messages``,
+    ``channel_loads``, ``max_level``, ``level_message_counts`` and
+    ``contention`` are identical (the per-channel division is the same
+    integer pair, hence the same float).  Only the ``hot_channel``
+    tie-break may differ: among equally contended channels this routine
+    deterministically reports the smallest ``(level, index, up)``, while
+    the loop reports the first one a message inserted.
+    """
+    src = np.asarray(sources, dtype=np.int64).ravel()
+    dst = np.asarray(destinations, dtype=np.int64).ravel()
+    require(src.size == dst.size, "sources/destinations length mismatch")
+    if src.size:
+        worst = int(max(src.max(), dst.max()))
+        best = int(min(src.min(), dst.min()))
+        require(0 <= best and worst < topology.n_leaves,
+                f"leaf {worst if worst >= topology.n_leaves else best} "
+                f"out of range for {topology.n_leaves}-leaf tree")
+    remote = src != dst
+    src, dst = src[remote], dst[remote]
+    n = int(src.size)
+    loads: dict[Channel, int] = {}
+    max_level = 0
+    level_counts: dict[int, int] = {}
+    contention = 0.0
+    hot = None
+    if n:
+        # comm_level = bit_length(src ^ dst); the frexp exponent of the
+        # (exactly representable) XOR value is precisely that
+        levels = np.frexp((src ^ dst).astype(np.float64))[1].astype(np.int64)
+        max_level = int(levels.max())
+        lv, lc = np.unique(levels, return_counts=True)
+        level_counts = {int(a): int(b) for a, b in zip(lv, lc)}
+        # every message climbs through levels 1..r: after sorting by
+        # level, the level->=k messages are a suffix, and each channel
+        # visit is encoded as one integer key (level | subtree index |
+        # direction bit, in tie-break order) so a single np.unique
+        # yields all per-channel loads at once
+        order = np.argsort(levels)
+        src_s, dst_s = src[order], dst[order]
+        starts = np.searchsorted(levels[order],
+                                 np.arange(1, max_level + 1))
+        pieces = []
+        for k in range(1, max_level + 1):
+            base = np.int64(k) << np.int64(48)
+            s, d = src_s[starts[k - 1]:], dst_s[starts[k - 1]:]
+            pieces.append(base | ((s >> (k - 1)) << 1) | 1)  # up leg
+            pieces.append(base | ((d >> (k - 1)) << 1))      # down leg
+        keys, counts = np.unique(np.concatenate(pieces),
+                                 return_counts=True)
+        ch_level = keys >> 48
+        loads = {
+            Channel(k, i, bool(u)): c
+            for k, i, u, c in zip(
+                ch_level.tolist(),
+                ((keys >> 1) & ((np.int64(1) << 47) - 1)).tolist(),
+                (keys & 1).tolist(),
+                counts.tolist(),
+            )
+        }
+        caps = np.array([topology.capacity(k)
+                         for k in range(1, max_level + 1)], dtype=np.int64)
+        ratios = counts / caps[ch_level - 1]
+        contention = float(ratios.max())
+        # keys sort as (level, index, up), so the first maximal ratio is
+        # the documented smallest-(level, index, up) tie-break
+        j = int(np.argmax(ratios == contention))
+        k = keys[j]
+        hot = Channel(int(k >> 48), int((k >> 1) & ((np.int64(1) << 47) - 1)),
+                      bool(k & 1))
+    return MessagePhase(
+        n_messages=n,
+        channel_loads=loads,
+        max_level=max_level,
+        level_message_counts=level_counts,
         contention=contention,
         hot_channel=hot,
     )

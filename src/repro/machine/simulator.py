@@ -42,7 +42,7 @@ from ..svd.rotations import (
 from ..util.bits import leaf_of_slot
 from ..util.validation import require
 from .costmodel import CostModel
-from .routing import route_phase
+from .routing import route_moves
 from .stats import StepRecord, SweepStats
 from .topology import TreeTopology
 
@@ -71,6 +71,8 @@ class TreeMachine:
         self._executor = None
         # runtime sanitizer for the block-mode local solves (None = off)
         self._sanitizer = None
+        # compute backend for the block kernels' GEMM phases (set by load)
+        self._compute_backend = None
         # fault-mode state: injector + reliable transport, and the
         # degraded host map (logical leaf -> physical leaf)
         self.injector = None
@@ -90,7 +92,8 @@ class TreeMachine:
 
     def load(self, a: np.ndarray, compute_v: bool = True,
              kernel: str = "reference", block_size: int | None = None,
-             inner_sweeps: int = 2, executor=None, sanitizer=None) -> None:
+             inner_sweeps: int = 2, executor=None, sanitizer=None,
+             compute_backend=None) -> None:
         """Distribute the columns of ``a`` over the leaves.
 
         Scalar mode (``block_size=None``): slot ``i`` holds column ``i``,
@@ -100,11 +103,16 @@ class TreeMachine:
         :data:`repro.blockjacobi.BLOCK_KERNELS` (``inner_sweeps`` cyclic
         sweeps per met pair).  ``executor`` (a
         :class:`~repro.parallel.executor.StepExecutor`) runs each step's
-        independent block solves across worker threads; results are
-        bit-identical to serial, the caller owns (and closes) it.
-        ``sanitizer`` (a :class:`~repro.verify.sanitize.RuntimeSanitizer`)
-        arms runtime write-set records on every block step; the driver
-        owns it and runs the sweep-boundary canaries itself.
+        independent block solves across workers (the machine's ``X``/``V``
+        are adopted into its arena, so the processes backend works on
+        shared-memory views); results are bit-identical to serial, the
+        caller owns (and closes) it — reclaiming ``machine.X``/``machine.V``
+        first if it needs them after close.  ``sanitizer`` (a
+        :class:`~repro.verify.sanitize.RuntimeSanitizer`) arms runtime
+        write-set records on every block step; the driver owns it and
+        runs the sweep-boundary canaries itself.  ``compute_backend`` (a
+        :class:`~repro.kernels.ComputeBackend` or name) retargets the
+        block kernels' batched GEMM phases.
         """
         if block_size is None:
             from ..svd.hestenes import KERNELS
@@ -131,12 +139,21 @@ class TreeMachine:
         self.inner_sweeps = inner_sweeps
         require(a.shape[1] == self.n_columns,
                 f"machine holds {self.n_columns} columns, matrix has {a.shape[1]}")
-        self.X = a.copy()
-        self.V = np.eye(a.shape[1]) if compute_v else None
+        X = a.copy()
+        V = np.eye(a.shape[1]) if compute_v else None
+        if executor is not None:
+            X = executor.adopt("X", X)
+            if V is not None:
+                V = executor.adopt("V", V)
+        self.X = X
+        self.V = V
         self.labels = np.arange(self.n_slots, dtype=np.intp)
         self.kernel = kernel
         self._executor = executor
         self._sanitizer = sanitizer
+        from ..kernels import resolve_compute_backend
+
+        self._compute_backend = resolve_compute_backend(compute_backend)
         if executor is not None and sanitizer is not None:
             executor.sanitizer = sanitizer
         self._WT = None
@@ -264,7 +281,11 @@ class TreeMachine:
         ``corrupt_slot(dst_slot, mode)`` after the move."""
         pairs = [(self._host(leaf_of_slot(mv.src)),
                   self._host(leaf_of_slot(mv.dst))) for mv in moves]
-        phase = route_phase(self.topology, pairs)
+        phase = route_moves(self.topology,
+                            np.fromiter((s for s, _ in pairs),
+                                        dtype=np.int64, count=len(pairs)),
+                            np.fromiter((d for _, d in pairs),
+                                        dtype=np.int64, count=len(pairs)))
         msgs = [(s, d, self.topology.comm_level(s, d))
                 for s, d in pairs if s != d]
         outcome = self._transport.deliver_phase(sweep, k, msgs, words)
@@ -455,7 +476,8 @@ class TreeMachine:
                 st, mx = solve_block_step(X, V, pair_cols, tol, sort,
                                           self.inner_sweeps, self.kernel,
                                           executor=self._executor,
-                                          sanitizer=self._sanitizer)
+                                          sanitizer=self._sanitizer,
+                                          compute_backend=self._compute_backend)
                 rstats.merge(st)
                 worst = max(worst, mx)
                 # block granularity: one "rotation" per met block pair

@@ -22,7 +22,7 @@ descends, using one channel per level in each direction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from ..util.bits import comm_level, ilog2
 from ..util.validation import require, require_power_of_two
@@ -39,9 +39,15 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class Channel:
-    """One directed channel: ``level`` >= 1, subtree index, up/down flag."""
+class Channel(NamedTuple):
+    """One directed channel: ``level`` >= 1, subtree index, up/down flag.
+
+    A named *tuple* rather than a dataclass: the router materialises one
+    ``Channel`` per distinct channel of every communication phase (the
+    hot path of the simulator), and tuple construction/hashing is
+    several times cheaper.  As a tuple it also sorts exactly in the
+    ``(level, index, up)`` tie-break order the router documents.
+    """
 
     level: int
     index: int

@@ -153,12 +153,11 @@ class CompiledSchedule:
                 phases = self._routes[key] = [None] * len(self.steps)
             phase = phases[step_index]
         if phase is None:
-            from ..machine.routing import route_phase as _route
+            from ..machine.routing import route_moves
 
             step = self.steps[step_index]
-            # plain ints: the bit-twiddling router rejects numpy scalars
-            phase = _route(topology,
-                           [(int(s), int(d)) for s, d in step.move_leaves])
+            phase = route_moves(topology, step.move_leaves[:, 0],
+                                step.move_leaves[:, 1])
             with self._routes_lock:
                 phases[step_index] = phase
         return phase

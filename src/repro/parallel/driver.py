@@ -170,7 +170,8 @@ class ParallelJacobiSVD:
             machine.load(a, compute_v=compute_uv, kernel=opts.kernel,
                          block_size=opts.block_size,
                          inner_sweeps=opts.inner_sweeps,
-                         executor=executor, sanitizer=sanitizer)
+                         executor=executor, sanitizer=sanitizer,
+                         compute_backend=opts.make_compute_backend())
         else:
             machine.load(a, compute_v=compute_uv, kernel=opts.kernel)
         if sanitizer is not None:
@@ -181,6 +182,11 @@ class ParallelJacobiSVD:
                 sanitizer)
         finally:
             if executor is not None:
+                # shared-memory views die with the arena; copy the
+                # machine's state out so callers can keep reading it
+                machine.X = executor.reclaim(machine.X)
+                if machine.V is not None:
+                    machine.V = executor.reclaim(machine.V)
                 executor.close()
 
     def _compute_loaded(

@@ -56,6 +56,9 @@ RULES: dict[str, tuple[str, str]] = {
                          "step's work items (serial-merge order not deterministic)"),
     "EXEC004": ("warning", "executor chunking skews load: the largest chunk holds at "
                            "least twice the ideal per-chunk share"),
+    "EXEC005": ("error", "process chunking unsound for shared memory: two chunks map "
+                         "to overlapping shared-memory ranges, or the batch-coupled "
+                         "inner Gram solve is split across processes"),
     "PLAN001": ("error", "compiled step arrays disagree with the source schedule "
                          "(pair/move lowering corrupted)"),
     "PLAN002": ("error", "compiled trajectory or final layout disagrees with the "

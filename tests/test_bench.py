@@ -54,9 +54,9 @@ class TestTiming:
 
 
 class TestScenarios:
-    def test_full_list_has_twentyseven_quick_has_sixteen(self):
-        assert len(default_scenarios(quick=False)) == 27
-        assert len(default_scenarios(quick=True)) == 16
+    def test_full_list_has_thirty_quick_has_nineteen(self):
+        assert len(default_scenarios(quick=False)) == 30
+        assert len(default_scenarios(quick=True)) == 19
 
     def test_names_unique_and_stable(self):
         full = scenario_names(quick=False)
@@ -66,6 +66,9 @@ class TestScenarios:
         assert "block/reference/ring_new/n128b8" in full
         assert "exec/serial/ring_new/n128b8" in full
         assert "exec/threads/ring_new/n128b8" in full
+        assert "exec/processes/ring_new/n128b8" in full
+        assert "route/loop/ring_new/n256" in full
+        assert "route/vec/ring_new/n256" in full
         assert "sanitize/off/serial/n128b8" in full
         assert "sanitize/on/serial/n128b8" in full
         assert "sanitize/on/threads/n128b8" in full
@@ -104,6 +107,10 @@ class TestScenarios:
                 assert s.reference == (
                     f"batch/loop/{s.params['ordering']}"
                     f"/n{s.params['n']}x{s.params['batch']}"
+                )
+            elif s.kind == "routing" and s.params["mode"] == "vec":
+                assert s.reference == (
+                    f"route/loop/{s.params['ordering']}/n{s.params['n']}"
                 )
             else:
                 assert s.reference is None
@@ -157,19 +164,35 @@ class TestScenarios:
         assert rec["meta"]["model_overhead"] > 1.0
 
     def test_run_exec_scenarios_bit_identical(self):
-        """The serial and threads exec scenarios are the same computation:
-        identical convergence trajectory, only wall time may differ."""
+        """The serial, threads and processes exec scenarios are the same
+        computation: identical convergence trajectory, only wall time may
+        differ."""
         by_name = {s.name: s for s in default_scenarios(quick=True)}
         recs = [run_scenario(by_name[f"exec/{e}/ring_new/n32b4"],
                              repeats=1, warmup=0)
-                for e in ("serial", "threads")]
+                for e in ("serial", "threads", "processes")]
         for rec in recs:
             assert rec["kind"] == "svd-parallel-exec"
             assert rec["meta"]["converged"] is True
-            assert rec["meta"]["executor"] in ("serial", "threads")
-        assert recs[0]["meta"]["sweeps"] == recs[1]["meta"]["sweeps"]
-        assert recs[0]["meta"]["rotations"] == recs[1]["meta"]["rotations"]
+            assert rec["meta"]["executor"] in ("serial", "threads",
+                                               "processes")
+            assert rec["meta"]["sweeps"] == recs[0]["meta"]["sweeps"]
+            assert rec["meta"]["rotations"] == recs[0]["meta"]["rotations"]
         assert recs[1]["meta"]["workers"] == 2
+        assert recs[2]["meta"]["workers"] == 2
+
+    def test_run_route_scenarios_same_phase_totals(self):
+        """The loop and vec routing scenarios route the same sweep: same
+        phase count, same message total."""
+        by_name = {s.name: s for s in default_scenarios(quick=True)}
+        recs = [run_scenario(by_name[f"route/{mode}/ring_new/n64"],
+                             repeats=1, warmup=0)
+                for mode in ("loop", "vec")]
+        for rec in recs:
+            assert rec["kind"] == "routing"
+            assert rec["meta"]["phases"] == recs[0]["meta"]["phases"]
+            assert rec["meta"]["messages"] == recs[0]["meta"]["messages"]
+        assert recs[1]["reference"] == "route/loop/ring_new/n64"
 
     def test_run_block_parallel_scenario(self):
         by_name = {s.name: s for s in default_scenarios(quick=False)}

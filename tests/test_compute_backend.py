@@ -1,0 +1,206 @@
+"""Compute-backend registry: probing, fallback and einsum bit-identity.
+
+The registry (:mod:`repro.kernels`) dispatches the block kernels'
+batched GEMMs.  ``numpy`` is the always-available reference; ``einsum``
+is a documented **bit-identical** alternative (same pairwise-summation
+kernels underneath, with the one non-identical einsum form routed back
+through ``np.matmul``); ``numba``/``cupy`` are optional accelerators
+gated on importability — absent on this host, which is exactly the
+configuration the probe/fallback machinery exists for.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.kernels import (
+    COMPUTE_BACKENDS,
+    ComputeBackend,
+    ComputeBackendWarning,
+    available_compute_backends,
+    clear_backend_cache,
+    compute_backend_status,
+    default_compute_backend_name,
+    numpy_backend,
+    resolve_compute_backend,
+)
+from repro.kernels import _PROBES as PROBES
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_backend_cache()
+    yield
+    clear_backend_cache()
+
+
+class TestRegistry:
+    def test_registry_is_stable(self):
+        assert COMPUTE_BACKENDS == ("numpy", "einsum", "numba", "cupy")
+
+    def test_numpy_and_einsum_always_available(self):
+        status = compute_backend_status()
+        assert status["numpy"] is None
+        assert status["einsum"] is None
+        assert set(status) == set(COMPUTE_BACKENDS)
+        assert set(available_compute_backends()) >= {"numpy", "einsum"}
+
+    def test_optional_backends_report_their_probe_failure(self):
+        status = compute_backend_status()
+        for name in ("numba", "cupy"):
+            try:
+                __import__(name)
+            except ImportError:
+                assert status[name] is not None
+                assert "Error" in status[name]
+
+    def test_instance_passes_through(self):
+        bk = numpy_backend()
+        assert resolve_compute_backend(bk) is bk
+
+    def test_unknown_name_lists_the_catalogue(self):
+        with pytest.raises(ValueError, match="available: numpy, einsum"):
+            resolve_compute_backend("tensorcore")
+
+    def test_unavailable_backend_falls_back_with_a_warning(self, monkeypatch):
+        def boom():
+            raise ImportError("llvmlite missing")
+
+        monkeypatch.setitem(PROBES, "numba", boom)
+        clear_backend_cache()
+        with pytest.warns(ComputeBackendWarning, match="llvmlite missing"):
+            bk = resolve_compute_backend("numba")
+        assert bk.name == "numpy"
+
+    def test_unavailable_backend_strict_mode_raises(self, monkeypatch):
+        def boom():
+            raise ImportError("llvmlite missing")
+
+        monkeypatch.setitem(PROBES, "numba", boom)
+        clear_backend_cache()
+        with pytest.raises(ValueError, match="llvmlite missing"):
+            resolve_compute_backend("numba", fallback=False)
+
+    def test_env_default_backend(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COMPUTE_BACKEND", raising=False)
+        assert default_compute_backend_name() == "numpy"
+        monkeypatch.setenv("REPRO_COMPUTE_BACKEND", "einsum")
+        assert default_compute_backend_name() == "einsum"
+        assert resolve_compute_backend().name == "einsum"
+        monkeypatch.setenv("REPRO_COMPUTE_BACKEND", "warp")
+        with pytest.raises(ValueError):
+            default_compute_backend_name()
+
+    def test_backend_functions_pickle_by_reference(self):
+        # the process executor ships the backend inside task payloads
+        import pickle
+
+        bk = resolve_compute_backend("einsum")
+        clone = pickle.loads(pickle.dumps(bk))
+        assert isinstance(clone, ComputeBackend)
+        assert clone.name == bk.name
+        assert clone.gram is bk.gram
+
+
+class TestEinsumBitIdentity:
+    """einsum == numpy, bit for bit, on every dispatch path."""
+
+    def test_primitive_parity_including_single_item_batches(self):
+        rng = np.random.default_rng(0)
+        es = resolve_compute_backend("einsum")
+        npb = numpy_backend()
+        for batch in (1, 2, 5):  # B == 1 exercises the matmul reroute
+            y = rng.standard_normal((batch, 4, 6))
+            w = rng.standard_normal((batch, 4, 4))
+            assert np.array_equal(es.gram(y), npb.gram(y))
+            assert np.array_equal(es.apply_wt(w, y), npb.apply_wt(w, y))
+            assert np.array_equal(es.matmul(w, y), npb.matmul(w, y))
+
+    @pytest.mark.parametrize("kernel", ["batched", "gram"])
+    def test_block_svd_parity(self, kernel):
+        from repro import svd
+
+        rng = np.random.default_rng(21)
+        a = rng.standard_normal((24, 16))
+        ref = svd(a, ordering="ring_new", block_size=4, kernel=kernel)
+        r = svd(a, ordering="ring_new", block_size=4, kernel=kernel,
+                compute_backend="einsum")
+        assert np.array_equal(ref.sigma, r.sigma)
+        assert np.array_equal(ref.u, r.u)
+        assert np.array_equal(ref.v, r.v)
+        assert ref.sweeps == r.sweeps
+
+    def test_batch_api_parity(self):
+        from repro import svd_batch
+
+        rng = np.random.default_rng(13)
+        stack = rng.standard_normal((4, 12, 8))
+        ref = svd_batch(stack, ordering="ring_new", kernel="gram",
+                        block_size=2)
+        r = svd_batch(stack, ordering="ring_new", kernel="gram",
+                      block_size=2, compute_backend="einsum")
+        for item_ref, item in zip(ref, r):
+            assert np.array_equal(item_ref.sigma, item.sigma)
+            assert np.array_equal(item_ref.u, item.u)
+            assert np.array_equal(item_ref.v, item.v)
+
+    def test_gram_eigh_batched_parity(self):
+        from repro.eig.jacobi import gram_eigh_batched
+
+        rng = np.random.default_rng(5)
+        y = rng.standard_normal((3, 4, 4))
+        g = np.matmul(y, y.transpose(0, 2, 1))
+        g0, g1 = g.copy(), g.copy()
+        w0, rot0, sw0, ok0 = gram_eigh_batched(g0)
+        w1, rot1, sw1, ok1 = gram_eigh_batched(
+            g1, backend=resolve_compute_backend("einsum"))
+        assert np.array_equal(w0, w1)
+        assert np.array_equal(g0, g1)  # in-place result identical too
+        assert (rot0, sw0, ok0) == (rot1, sw1, ok1)
+
+    def test_parity_composes_with_executors(self):
+        from repro import svd
+
+        rng = np.random.default_rng(8)
+        a = rng.standard_normal((24, 16))
+        ref = svd(a, ordering="ring_new", block_size=4, kernel="gram")
+        for executor in ("threads", "processes"):
+            r = svd(a, ordering="ring_new", block_size=4, kernel="gram",
+                    compute_backend="einsum", executor=executor, workers=2)
+            assert np.array_equal(ref.sigma, r.sigma), executor
+            assert np.array_equal(ref.u, r.u)
+            assert np.array_equal(ref.v, r.v)
+
+
+class TestOptionValidation:
+    def test_block_options_reject_unknown_backend(self):
+        from repro.blockjacobi import BlockJacobiOptions
+
+        with pytest.raises(ValueError, match="compute backend"):
+            BlockJacobiOptions(block_size=2, compute_backend="warp")
+
+    def test_jacobi_options_reject_unknown_backend(self):
+        from repro.svd.hestenes import JacobiOptions
+
+        with pytest.raises(ValueError, match="compute backend"):
+            JacobiOptions(compute_backend="warp")
+
+    def test_scalar_mode_rejects_compute_backend(self):
+        from repro import svd
+
+        a = np.eye(8)
+        with pytest.raises(ValueError, match="block mode only"):
+            svd(a, compute_backend="einsum")
+
+    def test_cli_requires_block_size(self, capsys):
+        rc = main(["svd", "--m", "16", "--n", "8", "--serial",
+                   "--ordering", "ring_new", "--compute-backend", "einsum"])
+        assert rc == 2
+        assert "--block-size" in capsys.readouterr().out
+
+    def test_cli_block_run_with_einsum(self, capsys):
+        rc = main(["svd", "--m", "24", "--n", "16", "--serial",
+                   "--ordering", "ring_new", "--block-size", "4",
+                   "--kernel", "gram", "--compute-backend", "einsum"])
+        assert rc == 0
+        assert "converged=True" in capsys.readouterr().out

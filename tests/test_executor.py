@@ -152,7 +152,7 @@ class TestResolution:
         assert default_workers() >= 1
 
     def test_registry_is_stable(self):
-        assert EXECUTORS == ("serial", "threads")
+        assert EXECUTORS == ("serial", "threads", "processes")
 
 
 def _run(a, ordering, kernel, executor, workers=None):

@@ -1,0 +1,295 @@
+"""Process-pool step executor: shared-memory protocol and bit-parity.
+
+The headline property extends the threads contract one isolation level
+up: the ``processes`` backend is **bit-identical** to ``serial`` for any
+worker count, on every block kernel and ordering — chunks are dispatched
+by bounds against shared-memory views, each worker runs the same
+numpy/BLAS build on its own disjoint slice, and results merge in chunk
+order (see :mod:`repro.parallel.executor`).
+
+Worker-side task functions used here are module level on purpose: the
+pool pickles them by reference, exactly like the kernel tasks.
+"""
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import executor as executor_module
+from repro.parallel.executor import (
+    ProcessStepExecutor,
+    StepExecutor,
+    WorkerCrashError,
+    executor_availability,
+    resolve_executor,
+    shutdown_process_pools,
+    unknown_executor_message,
+)
+
+
+def _span(lo, hi):
+    """run_chunks probe: report the bounds a worker received."""
+    return (lo, hi, os.getpid())
+
+
+def _crash(lo, hi):
+    """run_chunks probe: kill the worker process outright."""
+    os._exit(13)
+
+
+def _scale_task(arrays, lo, hi, factor):
+    """run_shared probe: scale an owned slice in shared memory."""
+    arrays["x"][lo:hi] *= factor
+    return float(arrays["x"][lo:hi].sum())
+
+
+class TestArena:
+    def test_adopt_copies_into_a_shared_view(self):
+        with ProcessStepExecutor(2) as ex:
+            a = np.arange(12.0)
+            view = ex.adopt("x", a)
+            np.testing.assert_array_equal(view, a)
+            assert ex._locate(view) is not None
+            assert ex._locate(a) is None
+
+    def test_scratch_is_reused_and_grows(self):
+        with ProcessStepExecutor(2) as ex:
+            s1 = ex.scratch("w", (4, 4))
+            s1[...] = 7.0
+            s2 = ex.scratch("w", (4, 4))
+            assert s1 is s2
+            s3 = ex.scratch("w", (16, 16))  # forces a larger segment
+            assert s3.shape == (16, 16)
+
+    def test_reclaim_survives_close(self):
+        ex = ProcessStepExecutor(2)
+        view = ex.adopt("x", np.arange(6.0))
+        out = ex.reclaim(view)
+        ex.close()
+        np.testing.assert_array_equal(out, np.arange(6.0))
+        assert ex._locate(out) is None  # private memory now
+
+    def test_locate_handles_offset_slices(self):
+        with ProcessStepExecutor(2) as ex:
+            view = ex.adopt("x", np.arange(24.0).reshape(4, 6))
+            key, offset = ex._locate(view[2:])
+            assert key == "x"
+            assert offset == 2 * 6 * 8
+
+    def test_close_is_idempotent_and_frees_the_arena(self):
+        ex = ProcessStepExecutor(2)
+        ex.adopt("x", np.zeros(4))
+        ex.close()
+        ex.close()
+        assert ex._arena == {}
+
+
+class TestDispatch:
+    def test_results_arrive_in_chunk_order(self):
+        with ProcessStepExecutor(3) as ex:
+            out = ex.run_chunks(10, _span)
+        assert [(lo, hi) for lo, hi, _ in out] == \
+            StepExecutor.chunk_bounds(10, 3)
+
+    def test_chunks_actually_run_in_other_processes(self):
+        with ProcessStepExecutor(2) as ex:
+            out = ex.run_chunks(8, _span)
+        assert all(pid != os.getpid() for _, _, pid in out)
+
+    def test_single_chunk_runs_in_the_parent(self):
+        # one chunk is the whole stage: no IPC, works on private arrays
+        with ProcessStepExecutor(1) as ex:
+            out = ex.run_chunks(8, _span)
+        assert out == [(0, 8, os.getpid())]
+
+    def test_run_shared_writes_land_in_adopted_memory(self):
+        with ProcessStepExecutor(2) as ex:
+            x = ex.adopt("x", np.arange(10.0))
+            sums = ex.run_shared(10, _scale_task, {"x": x}, factor=3.0)
+            np.testing.assert_array_equal(x, 3.0 * np.arange(10.0))
+            assert len(sums) == 2
+
+    def test_run_shared_borrows_non_arena_arrays(self):
+        # the documented slow path: a never-adopted array round-trips
+        # through a temporary segment and comes back mutated
+        with ProcessStepExecutor(2) as ex:
+            x = np.arange(10.0)
+            ex.run_shared(10, _scale_task, {"x": x}, factor=2.0)
+            np.testing.assert_array_equal(x, 2.0 * np.arange(10.0))
+            assert all(not k.startswith("__borrow_") for k in ex._arena)
+
+    def test_dead_worker_raises_crash_error_and_pool_recovers(self):
+        with ProcessStepExecutor(2) as ex:
+            with pytest.raises(WorkerCrashError, match="worker process died"):
+                ex.run_chunks(8, _crash)
+            # the broken pool was discarded; the next dispatch works
+            out = ex.run_chunks(8, _span)
+            assert [(lo, hi) for lo, hi, _ in out] == \
+                StepExecutor.chunk_bounds(8, 2)
+
+    def test_shutdown_process_pools_is_safe_anytime(self):
+        with ProcessStepExecutor(2) as ex:
+            ex.run_chunks(4, _span)
+            shutdown_process_pools()
+            out = ex.run_chunks(4, _span)  # pools re-created lazily
+            assert [(lo, hi) for lo, hi, _ in out] == \
+                StepExecutor.chunk_bounds(4, 2)
+
+
+class TestResolutionErgonomics:
+    def test_processes_resolve_on_this_host(self):
+        ex = resolve_executor("processes", workers=2)
+        assert ex.name == "processes" and ex.workers == 2
+        ex.close()
+
+    def test_unknown_name_lists_broken_optional_backends(self, monkeypatch):
+        def boom():
+            raise ImportError("no POSIX shared memory on this host")
+
+        monkeypatch.setitem(executor_module._PROBES, "processes", boom)
+        msg = unknown_executor_message("gpu")
+        assert "unknown executor 'gpu'" in msg
+        assert "available: serial, threads" in msg
+        assert "processes (ImportError: no POSIX shared memory" in msg
+        with pytest.raises(ValueError, match="no POSIX shared memory"):
+            resolve_executor("gpu")
+
+    def test_registered_but_unavailable_reports_the_probe_failure(
+            self, monkeypatch):
+        def boom():
+            raise OSError("sem_open blocked by seccomp")
+
+        monkeypatch.setitem(executor_module._PROBES, "processes", boom)
+        with pytest.raises(ValueError,
+                           match="unavailable on this host.*sem_open"):
+            resolve_executor("processes")
+
+    def test_availability_reports_every_backend(self):
+        status = executor_availability()
+        assert set(status) == {"serial", "threads", "processes"}
+        assert status["serial"] is None
+        assert status["threads"] is None
+
+    def test_options_validation_uses_the_catalogue(self):
+        from repro.blockjacobi import BlockJacobiOptions
+
+        with pytest.raises(ValueError, match="unknown executor"):
+            BlockJacobiOptions(block_size=2, executor="quantum")
+
+
+def _run(a, ordering, kernel, executor, workers=None):
+    from repro import svd
+
+    # block_size 2 keeps 8 block columns (the hybrid ordering's minimum)
+    # while the matrices stay small enough for a process-pool test matrix
+    return svd(a, ordering=ordering, block_size=2, kernel=kernel,
+               executor=executor, workers=workers)
+
+
+class TestBitIdentity:
+    """processes == serial, bit for bit, across the whole matrix of knobs."""
+
+    @pytest.mark.parametrize("ordering", ["fat_tree", "ring_new", "hybrid"])
+    @pytest.mark.parametrize("kernel", ["reference", "batched", "gram"])
+    def test_processes_match_serial_across_worker_counts(
+            self, ordering, kernel):
+        rng = np.random.default_rng(42)
+        a = rng.standard_normal((24, 16))
+        ref = _run(a, ordering, kernel, "serial")
+        for workers in (1, 2, 4):
+            r = _run(a, ordering, kernel, "processes", workers)
+            assert np.array_equal(ref.sigma, r.sigma), (ordering, kernel,
+                                                        workers)
+            assert np.array_equal(ref.u, r.u)
+            assert np.array_equal(ref.v, r.v)
+            assert ref.sweeps == r.sweeps
+            assert ref.rotations == r.rotations
+
+    def test_machine_path_matches_serial(self):
+        from repro import parallel_svd
+
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((24, 16))
+        r0, _ = parallel_svd(a, topology="cm5", ordering="hybrid",
+                             block_size=2, executor="serial")
+        r1, _ = parallel_svd(a, topology="cm5", ordering="hybrid",
+                             block_size=2, executor="processes", workers=3)
+        assert np.array_equal(r0.sigma, r1.sigma)
+        assert np.array_equal(r0.u, r1.u)
+        assert np.array_equal(r0.v, r1.v)
+
+    def test_svd_batch_chunks_over_processes(self):
+        from repro import svd_batch
+
+        rng = np.random.default_rng(5)
+        stack = rng.standard_normal((5, 12, 8))
+        ref = svd_batch(stack, ordering="ring_new", kernel="gram",
+                        block_size=2)
+        r = svd_batch(stack, ordering="ring_new", kernel="gram",
+                      block_size=2, executor="processes", workers=3)
+        assert r.n_items == ref.n_items
+        for item_ref, item in zip(ref, r):
+            assert np.array_equal(item_ref.sigma, item.sigma)
+            assert np.array_equal(item_ref.u, item.u)
+            assert np.array_equal(item_ref.v, item.v)
+        assert ref.sweeps_histogram == r.sweeps_histogram
+
+    def test_sanitized_processes_run_is_clean(self):
+        from repro.blockjacobi import BlockJacobiOptions, block_jacobi_svd
+
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((24, 16))
+        opts = BlockJacobiOptions(block_size=4, kernel="gram",
+                                  executor="processes", workers=2,
+                                  sanitize=True)
+        ref = block_jacobi_svd(
+            a, options=BlockJacobiOptions(block_size=4, kernel="gram"))
+        r = block_jacobi_svd(a, options=opts)
+        assert np.array_equal(ref.sigma, r.sigma)
+
+    def test_fault_recovery_matches_serial(self):
+        from repro import parallel_svd
+        from repro.faults.campaign import CampaignCase, single_fault_plan
+        from repro.util.errors import ConvergenceWarning
+
+        n, b = 16, 2
+        plan = single_fault_plan(
+            CampaignCase("ring_new", "crash", n, "gram", b))
+        rng = np.random.default_rng(99)
+        a = rng.standard_normal((24, n))
+        results = []
+        for executor, workers in (("serial", None), ("processes", 2)):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", ConvergenceWarning)
+                r, rep = parallel_svd(
+                    a, topology="perfect", ordering="ring_new",
+                    block_size=b, executor=executor, workers=workers,
+                    fault_plan=plan)
+            results.append((r, rep))
+        (r0, rep0), (r1, rep1) = results
+        assert np.array_equal(r0.sigma, r1.sigma)
+        assert np.array_equal(r0.u, r1.u)
+        assert np.array_equal(r0.v, r1.v)
+        assert rep0.rollbacks == rep1.rollbacks
+
+
+class TestDeterminism:
+    """Same seed, same bits — however many times and processes run it."""
+
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 2**32 - 1),
+           ordering=st.sampled_from(["fat_tree", "ring_new"]))
+    def test_processes_run_is_reproducible(self, seed, ordering):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((16, 16))
+        r1 = _run(a, ordering, "gram", "processes", 2)
+        r2 = _run(a, ordering, "gram", "processes", 2)
+        assert np.array_equal(r1.sigma, r2.sigma)
+        assert np.array_equal(r1.u, r2.u)
+        assert np.array_equal(r1.v, r2.v)
+        assert r1.sweeps == r2.sweeps

@@ -1,10 +1,16 @@
 """Unit tests for routing, contention accounting and the cost model."""
 
+import numpy as np
 import pytest
 
 from repro.machine.costmodel import CostModel
-from repro.machine.routing import route_phase
-from repro.machine.topology import BinaryTree, CM5Tree, PerfectFatTree
+from repro.machine.routing import route_moves, route_phase
+from repro.machine.topology import (
+    BinaryTree,
+    CM5Tree,
+    PerfectFatTree,
+    make_topology,
+)
 
 
 class TestRoutePhase:
@@ -52,6 +58,79 @@ class TestRoutePhase:
         ph = route_phase(t, msgs)
         # 8 messages through a level-4 channel of capacity 4
         assert ph.contention == 2.0
+
+
+class TestRouteMoves:
+    """The vectorised router honours its equivalence contract with
+    :func:`route_phase`: every field identical except the documented
+    ``hot_channel`` tie-break."""
+
+    @pytest.mark.parametrize("topo_name",
+                             ["perfect", "binary", "cm5", "skinny"])
+    @pytest.mark.parametrize("n_leaves", [4, 16, 64])
+    def test_equivalence_on_random_phases(self, topo_name, n_leaves):
+        topo = make_topology(topo_name, n_leaves)
+        rng = np.random.default_rng(n_leaves)
+        for _ in range(10):
+            m = int(rng.integers(1, 2 * n_leaves))
+            src = rng.integers(0, n_leaves, m)
+            dst = rng.integers(0, n_leaves, m)
+            loop = route_phase(topo, [(int(s), int(d))
+                                      for s, d in zip(src, dst)])
+            vec = route_moves(topo, src, dst)
+            assert vec.n_messages == loop.n_messages
+            assert vec.channel_loads == loop.channel_loads
+            assert vec.max_level == loop.max_level
+            assert vec.level_message_counts == loop.level_message_counts
+            assert vec.contention == loop.contention
+
+    def test_empty_phase(self):
+        ph = route_moves(PerfectFatTree(8), np.empty(0, dtype=np.int64),
+                         np.empty(0, dtype=np.int64))
+        assert ph.n_messages == 0
+        assert ph.contention == 0.0
+        assert ph.hot_channel is None
+
+    def test_self_messages_ignored(self):
+        ph = route_moves(PerfectFatTree(8), np.array([3, 5]),
+                         np.array([3, 5]))
+        assert ph.n_messages == 0
+
+    def test_hot_channel_is_maximally_contended(self):
+        t = BinaryTree(8)
+        src = np.arange(4)
+        ph = route_moves(t, src, src + 4)
+        assert ph.contention == 4.0
+        hot = ph.hot_channel
+        assert ph.channel_loads[hot] / t.capacity(hot.level) == ph.contention
+        # the documented tie-break: the smallest (level, index, up)
+        # among the maximally contended channels
+        worst = min(ch for ch, load in ph.channel_loads.items()
+                    if load / t.capacity(ch.level) == ph.contention)
+        assert hot == worst
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            route_moves(PerfectFatTree(8), np.array([0, 1]), np.array([2]))
+
+    def test_out_of_range_leaf_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            route_moves(PerfectFatTree(8), np.array([0]), np.array([8]))
+
+    def test_compiled_schedule_routes_through_the_vector_path(self):
+        from repro.orderings import make_ordering
+        from repro.orderings.plan import compile_schedule
+
+        sched = make_ordering("ring_new", 16).sweep(0)
+        plan = compile_schedule(sched)
+        topo = PerfectFatTree(8)
+        for k, step in enumerate(sched.steps):
+            got = plan.route_phase(topo, k)
+            want = route_phase(
+                topo, [(m.src // 2, m.dst // 2) for m in step.moves])
+            assert got.channel_loads == want.channel_loads
+            assert got.contention == want.contention
+            assert got.level_message_counts == want.level_message_counts
 
 
 class TestCostModel:
