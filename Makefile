@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-batch test-sanitized lint lint-tools lint-schedules analyze bench bench-check bench-figures faults
+.PHONY: test test-batch test-sanitized lint lint-tools lint-schedules analyze bench bench-check bench-figures tune faults
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -69,6 +69,14 @@ bench:
 bench-check:
 	$(PYTHON) -m repro.cli bench --tag check --repeats 3 \
 		--compare BENCH_local.json --max-slowdown 400
+
+# the autotuner: race kernel/ordering/block-size/executor/backend
+# candidates with successive halving and persist the winner to
+# PROFILE_<host>.json; `svd(..., profile=...)` or REPRO_PROFILE then
+# fill any options the caller left unset
+tune:
+	$(PYTHON) -m repro.cli tune --m 144 --n 128
+	$(PYTHON) -m repro.cli tune --m 272 --n 256 --quick
 
 # timed replays of the paper's figures/tables via pytest-benchmark
 bench-figures:

@@ -50,7 +50,16 @@ protected:
 ``faults-recovery``  one faulted parallel run (crash + silent
                      corruption, checkpoint/rollback/remap recovery)
                      against its fault-free twin — the simulator-side
-                     price of the fault-tolerance machinery.
+                     price of the fault-tolerance machinery;
+``fastpath``         one fault-free gram-kernel sweep on the tree
+                     machine, vectorised fast path vs its event-driven
+                     twin (``force_event``) on the same prebuilt
+                     schedule — the large-n simulator headline (the
+                     event side is timed inside the scenario and the
+                     speedup lands in meta);
+``tune``             latency of one quick single-round
+                     :func:`repro.tune.tune` search — the cost CI pays
+                     for the autotuner smoke gate.
 
 Scenario inputs are deterministic (fixed seed), and orderings/drivers
 are constructed *outside* the timed region — ordering construction is a
@@ -169,11 +178,13 @@ def default_scenarios(quick: bool = False) -> list[Scenario]:
     sanitizer-overhead pairs (off vs on, serial and threads), the
     batch-throughput pairs (svd_batch vs the looped-svd baseline at
     batch sizes 10^2-10^4), the routing pair (vectorised vs per-message
-    router over one n=256 compiled sweep), the parallel simulator at
-    scalar and block granularity, the fault-recovery overhead run, and
-    the lint and analyze gates (30 scenarios).  ``quick`` mode shrinks
-    every size for CI smoke runs (19 scenarios) while keeping the same
-    name structure.
+    router over one n=256 compiled sweep), the simulator fast-path pair
+    (vectorised vs event-driven n=512 gram sweep, speedup in meta), the
+    autotuner smoke search, the parallel simulator at scalar and block
+    granularity, the fault-recovery overhead run, and the lint and
+    analyze gates (32 scenarios).  ``quick`` mode shrinks every size
+    for CI smoke runs (21 scenarios) while keeping the same name
+    structure.
     """
     sizes = (16,) if quick else (32, 64)
     out = []
@@ -188,6 +199,22 @@ def default_scenarios(quick: bool = False) -> list[Scenario]:
         else ("reference", "batched", "gram")
     for kernel in block_kernels:
         out.append(_block_scenario(kernel, "ring_new", bn, bb))
+    # the simulator fast path against its event-driven twin: one
+    # fault-free gram sweep at the largest size the suite runs (the
+    # tentpole's speedup claim is recorded here, in meta).  Runs before
+    # the allocation-heavy batch/executor scenarios: the event path's
+    # per-event object churn is measurably cheaper in a process whose
+    # allocator arenas they have already warmed, which deflates the
+    # recorded ratio by ~20% if this pair runs after them.
+    sn = 64 if quick else 512
+    out.append(
+        Scenario(
+            name=f"sim/fastpath-vs-event/n{sn}",
+            kind="fastpath",
+            params={"n": sn, "m": sn + 16, "block_size": 1,
+                    "kernel": "gram", "ordering": "ring_new"},
+        )
+    )
     # the executor pairs: the same gram-kernel block run under the
     # serial, threaded and process step backends (results are
     # bit-identical; only the wall time may differ, by however many
@@ -222,6 +249,15 @@ def default_scenarios(quick: bool = False) -> list[Scenario]:
     rn = 64 if quick else 256
     for mode in ("loop", "vec"):
         out.append(_route_scenario(mode, "ring_new", rn))
+    # the autotuner smoke search (quick space, single round)
+    tm, tn = (40, 32) if quick else (72, 64)
+    out.append(
+        Scenario(
+            name=f"tune/quick/n{tn}",
+            kind="tune",
+            params={"m": tm, "n": tn, "batch": None},
+        )
+    )
     pn = 8 if quick else 32
     out.append(
         Scenario(
@@ -271,9 +307,15 @@ def scenario_names(quick: bool = False) -> list[str]:
 
 
 def run_scenario(
-    scenario: Scenario, repeats: int = 5, warmup: int = 1
+    scenario: Scenario, repeats: int = 5, warmup: int = 1,
+    profile: bool = False,
 ) -> dict[str, Any]:
-    """Execute one scenario; returns its schema record (see report.py)."""
+    """Execute one scenario; returns its schema record (see report.py).
+
+    ``profile=True`` appends a compute/route/merge phase breakdown
+    (:mod:`repro.bench.phases`) to ``meta`` from one extra instrumented
+    run; the gated ``wall_time_s`` median stays uninstrumented.
+    """
     meta: dict[str, Any] = {}
     p = scenario.params
     if scenario.kind == "svd-kernel":
@@ -470,6 +512,52 @@ def run_scenario(
                                 if rep0.total_time else 1.0),
             )
 
+    elif scenario.kind == "fastpath":
+        from ..machine.simulator import TreeMachine
+        from ..machine.topology import PerfectFatTree
+        from ..orderings import make_ordering
+
+        b = p["block_size"]
+        n_slots = p["n"] // b
+        rng = np.random.default_rng(_SEED)
+        a = rng.standard_normal((p["m"], p["n"]))
+        # schedule construction is outside the timed region on both
+        # sides: the pair measures sweep execution, not ordering setup
+        sched = make_ordering(p["ordering"], n_slots).sweep(0)
+
+        def run(force_event: bool) -> None:
+            machine = TreeMachine(PerfectFatTree(n_slots // 2))
+            machine.load(a, kernel=p["kernel"], block_size=b)
+            machine.force_event = force_event
+            machine.run_sweep(sched, sweep_index=0)
+            expected = "event" if force_event else "fast"
+            require(machine.last_sweep_path == expected,
+                    f"expected {expected} path, got "
+                    f"{machine.last_sweep_path!r}")
+
+        # the event twin is priced here at a bounded repeat count (it is
+        # the slow side by design); the headline wall_time_s below is
+        # the fast path, and the speedup ratio is attached post-timing
+        event = time_callable(lambda: run(True),
+                              repeats=min(repeats, 3), warmup=min(warmup, 1))
+        meta.update(event_median_s=event.median_s,
+                    event_repeats=min(repeats, 3))
+
+        def work() -> None:
+            run(False)
+
+    elif scenario.kind == "tune":
+        from ..tune import tune
+
+        def work() -> None:
+            result = tune(p["m"], p["n"], p.get("batch"), quick=True,
+                          repeats_schedule=(1,))
+            meta.update(
+                winner=result.winner.label(),
+                candidates=len(result.candidates),
+                speedup=round(result.speedup, 2),
+            )
+
     elif scenario.kind == "lint":
         from ..verify import lint_registry
 
@@ -493,6 +581,13 @@ def run_scenario(
         require(False, f"unknown scenario kind {scenario.kind!r}")
 
     timing = time_callable(work, repeats=repeats, warmup=warmup)
+    if scenario.kind == "fastpath":
+        meta["speedup"] = meta["event_median_s"] / timing.median_s
+    if profile:
+        from .phases import phase_breakdown
+
+        meta["phases"] = {k: round(v, 6)
+                          for k, v in phase_breakdown(work).items()}
     return {
         "name": scenario.name,
         "kind": scenario.kind,

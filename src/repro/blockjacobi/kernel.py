@@ -59,7 +59,9 @@ from ..util.errors import NumericalBreakdown
 from ..util.validation import require
 
 __all__ = ["BLOCK_KERNELS", "FALLBACK_CHAINS", "GRAM_NOISE", "KERNEL_STAGES",
-           "solve_block_pair", "solve_block_step", "solve_block_step_batch"]
+           "fastpath_gram_flush", "fastpath_gram_step", "solve_block_pair",
+           "solve_block_step",
+           "solve_block_step_batch"]
 
 #: registered block-pair kernels; ``gram`` is the BLAS-3 fast path
 BLOCK_KERNELS = ("reference", "batched", "gram")
@@ -452,6 +454,36 @@ def _triu_cache(k: int) -> tuple[np.ndarray, np.ndarray]:
     return np.triu_indices(k, 1)
 
 
+def _sort_exchanges(
+    pair_cols,
+    d: np.ndarray,
+    sort: str | None,
+    stats: RotationStats,
+) -> tuple[np.ndarray | None, np.ndarray | None]:
+    """Column permutation implied by the norm-ordering convention on
+    already-orthogonal blocks: concatenated ``(src, tgt)`` column ids of
+    every pair that needs exchanging (``(None, None)`` when none does),
+    with ``stats.exchanged`` counted.  Shared by the in-place event path
+    (:func:`_apply_sort_only`) and the simulator fast path, which applies
+    the same permutation as a pure row relabelling."""
+    srcs = []
+    tgts = []
+    for i in range(len(pair_cols)):
+        cols = pair_cols[i]
+        perm = _sort_perm(d[i], sort)
+        if perm is None:
+            continue
+        target = np.sort(cols)
+        src = cols[perm]
+        if not np.array_equal(src, target):
+            stats.exchanged += int(np.count_nonzero(src != target)) // 2
+            srcs.append(src)
+            tgts.append(target)
+    if not srcs:
+        return None, None
+    return np.concatenate(srcs), np.concatenate(tgts)
+
+
 def _apply_sort_only(
     X: np.ndarray,
     V: np.ndarray | None,
@@ -462,21 +494,8 @@ def _apply_sort_only(
     sanitizer=None,
 ) -> None:
     """Apply the norm-ordering convention to already-orthogonal blocks."""
-    srcs = []
-    tgts = []
-    for i, cols in enumerate(pair_cols):
-        perm = _sort_perm(d[i], sort)
-        if perm is None:
-            continue
-        target = np.sort(cols)
-        src = cols[perm]
-        if not np.array_equal(src, target):
-            stats.exchanged += int(np.count_nonzero(src != target)) // 2
-            srcs.append(src)
-            tgts.append(target)
-    if srcs:
-        src = np.concatenate(srcs)
-        tgt = np.concatenate(tgts)
+    src, tgt = _sort_exchanges(pair_cols, d, sort, stats)
+    if src is not None:
         X[:, tgt] = X[:, src]
         if V is not None:
             V[:, tgt] = V[:, src]
@@ -519,6 +538,226 @@ def _task_gram_apply(arrays: dict, lo: int, hi: int, *, cols, tgt, k, m, n,
         Vs = V.T[cols[lo:hi].reshape(-1)].reshape(hi - lo, k, n)
         vout = backend.apply_wt(W[lo:hi], Vs)
         V[:, t] = vout.reshape((hi - lo) * k, n).T
+
+
+def _gram_measure(
+    G: np.ndarray,
+    cols_arr: np.ndarray,
+    k: int,
+    tol: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """Finite check, symmetrisation and convergence measurement of a
+    ``(nb, k, k)`` Gram stack — the decision half of the gram kernel,
+    shared verbatim by the event-driven path (:func:`_solve_gram_many`)
+    and the simulator fast path (:func:`fastpath_gram_step`) so their
+    bit-identity holds by construction.  Returns
+    ``(G_sym, d, floor, worst)``; raises before any column is touched."""
+    finite = np.isfinite(G)
+    if not finite.all():
+        # breakdown sentinel: raise before any column is touched so the
+        # fallback chain can re-solve the poisoned pairs from clean data
+        i = int(np.argwhere(~finite)[0][0])
+        raise NumericalBreakdown(
+            f"non-finite Gram block for pair {i} "
+            f"(columns {cols_arr[i].tolist()})",
+            where=(int(cols_arr[i][0]), int(cols_arr[i][-1])))
+    # gemm output is symmetric only to rounding; the solver updates
+    # (p, q) and (q, p) through the same rotation, so symmetrise once
+    G = 0.5 * (G + G.transpose(0, 2, 1))
+    d = np.diagonal(G, axis1=1, axis2=2)  # (nb, k) squared norms
+    gmax = d.max(axis=1)
+    floor = GRAM_NOISE * k * _EPS * gmax  # zero blocks get a zero floor
+    fdiv = (floor / tol)[:, None] if tol > 0.0 else np.zeros((len(G), 1))
+    i0, i1 = _triu_cache(k)
+    denom = np.sqrt(np.abs(d[:, i0] * d[:, i1]))
+    rel = np.abs(G[:, i0, i1]) / (denom + fdiv + _TINY)
+    worst = float(rel.max(initial=0.0))
+    return G, d, floor, worst
+
+
+def _gram_factors(
+    G: np.ndarray,
+    cols_arr: np.ndarray,
+    tol: float,
+    sort: str | None,
+    inner_sweeps: int,
+    floor: np.ndarray,
+    backend: ComputeBackend,
+) -> tuple[np.ndarray, int, np.ndarray]:
+    """Inner Gram Jacobi plus the sort convention — the factor half of
+    the gram kernel, shared by both execution paths.  Returns
+    ``(W, rotations, tgt_arr)`` with ``W``'s columns already permuted to
+    land each block's norms in target order (``tgt_arr`` the sorted
+    column targets, or ``cols_arr`` itself with ``sort=None``)."""
+    W, rotations, _, _ = gram_eigh_batched(G, tol=tol,
+                                           max_sweeps=inner_sweeps,
+                                           floor=floor, backend=backend)
+    if not np.isfinite(W).all():
+        raise NumericalBreakdown(
+            "non-finite rotation factor from the inner Gram Jacobi")
+    if sort is not None:
+        d2 = np.diagonal(G, axis1=1, axis2=2)
+        if sort == "desc":
+            perm = np.argsort(-d2, axis=1, kind="stable")
+        else:
+            perm = np.argsort(d2, axis=1, kind="stable")
+        W = np.take_along_axis(W, perm[:, None, :], axis=2)
+        tgt_arr = np.sort(cols_arr, axis=1)
+    else:
+        tgt_arr = cols_arr
+    return W, rotations, tgt_arr
+
+
+def _fp_buffer(scratch: "dict | None", key: str, rows: int,
+               tail: tuple[int, ...]) -> np.ndarray:
+    """Sweep-persistent step buffer for the fast path.
+
+    Large per-step temporaries (the gathered ``(nb*2b, m)`` stacks and
+    their rotated outputs) dominate the fast path's non-GEMM cost when
+    freshly allocated each step: at n = 512 the malloc/page-fault churn
+    of four ~2 MB arrays per step costs more than the gathers
+    themselves.  Buffers live in ``scratch`` keyed by name, are grown
+    monotonically, and are handed out as leading-axis views, so a whole
+    sweep allocates each stack once.
+    """
+    if scratch is None:
+        return np.empty((rows, *tail))
+    buf = scratch.get(key)
+    if buf is None or buf.shape[0] < rows or buf.shape[1:] != tail:
+        buf = np.empty((max(rows, buf.shape[0] if buf is not None else 0),
+                        *tail))
+        scratch[key] = buf
+    return buf[:rows]
+
+
+def fastpath_gram_flush(
+    XT: np.ndarray,
+    VT: np.ndarray | None,
+    scratch: "dict | None",
+) -> None:
+    """Write a carried rotation stack back into canonical storage.
+
+    Full-coverage steps leave their rotated stacks in ``scratch`` (see
+    :func:`fastpath_gram_step`) instead of scattering into ``XT``/``VT``;
+    until the next flush the canonical buffers are stale for the stacked
+    rows.  Callers must flush before reading ``XT``/``VT`` directly —
+    the simulator does so at sweep end and before delegating a
+    broken-down step to the event solver.  A no-op when nothing is
+    carried."""
+    if not scratch:
+        return
+    rows = scratch.pop("stack_rows", None)
+    if rows is None:
+        return
+    XT[rows] = scratch["xstk"][:len(rows)]
+    if VT is not None:
+        VT[rows] = scratch["vstk"][:len(rows)]
+
+
+def fastpath_gram_step(
+    XT: np.ndarray,
+    VT: np.ndarray | None,
+    row_of_col: np.ndarray,
+    cols_arr: np.ndarray,
+    tol: float,
+    sort: str | None,
+    inner_sweeps: int,
+    backend: ComputeBackend | None = None,
+    scratch: "dict | None" = None,
+) -> tuple[RotationStats, float]:
+    """One schedule step of the gram kernel on transposed storage — the
+    simulator fast path's solver.
+
+    ``XT`` (``(n, m)``) and ``VT`` (``(n, n)``) hold the matrix columns
+    as contiguous *rows*; ``row_of_col`` maps column id -> physical row
+    (updated in place).  The step gathers its rows into the same
+    C-contiguous ``(nb, 2b, m)`` stacks as the event path's
+    :func:`_task_gram_form`, runs the shared measurement/factor helpers,
+    and scatters results back into the gathered rows — so every GEMM
+    sees bit-identical operands in bit-identical layouts, and row-major
+    fancy gathers replace the event path's strided column gathers (the
+    fast path's actual win).  Norm-ordering exchanges of
+    already-orthogonal blocks become pure ``row_of_col`` relabelings:
+    zero data movement, same ``stats.exchanged`` count.  ``scratch``
+    (see :func:`_fp_buffer`) carries the step stacks across a sweep so
+    steady-state steps are allocation-free; ``np.take(..., mode="clip")``
+    and the backends' ``out=`` forms copy the same bits as the
+    allocating forms.
+
+    Raises :class:`~repro.util.errors.NumericalBreakdown` before
+    touching any row; the caller materialises ``X``/``V`` and delegates
+    the step to the event-path solver (same per-pair fallback chain).
+    """
+    backend = backend if backend is not None else numpy_backend()
+    stats = RotationStats()
+    cols_arr = np.asarray(cols_arr, dtype=np.intp)
+    nb, k = cols_arr.shape
+    m = XT.shape[1]
+    n_rows = XT.shape[0]
+    rows = row_of_col[cols_arr.reshape(-1)]
+    # stack carry: a step that rotates every column leaves its output in
+    # the scratch stack; the next full-coverage step gathers straight
+    # from it (one warm permuted copy instead of a scatter + re-gather
+    # through XT/VT).  Anything else flushes first, so the canonical
+    # buffers are current whenever they are actually read.
+    full = scratch is not None and len(rows) == n_rows
+    stack_rows = scratch.get("stack_rows") if scratch is not None else None
+    if stack_rows is not None and not full:
+        fastpath_gram_flush(XT, VT, scratch)
+        stack_rows = None
+    Ys2d = _fp_buffer(scratch, "Ys", nb * k, (m,))
+    if stack_rows is not None:
+        idx = scratch["pos"][rows]
+        np.take(scratch["xstk"], idx, axis=0, out=Ys2d, mode="clip")
+    else:
+        idx = None
+        np.take(XT, rows, axis=0, out=Ys2d, mode="clip")
+    Ys = Ys2d.reshape(nb, k, m)
+    G = backend.gram(Ys, out=_fp_buffer(scratch, "G", nb, (k, k)))
+    G, d, floor, worst = _gram_measure(G, cols_arr, k, tol)
+    if worst <= tol:
+        # already orthogonal: only the norm-ordering convention may act,
+        # and it moves no data — any carried stack stays valid
+        src, tgt = _sort_exchanges(cols_arr, d, sort, stats)
+        if src is not None:
+            row_of_col[tgt] = row_of_col[src]
+        return stats, worst
+    W, rotations, tgt_arr = _gram_factors(G, cols_arr, tol, sort,
+                                          inner_sweeps, floor, backend)
+    stats.applied = rotations
+    if VT is not None:
+        nv = VT.shape[1]
+        Vs2d = _fp_buffer(scratch, "Vs", nb * k, (nv,))
+        if idx is not None:
+            np.take(scratch["vstk"], idx, axis=0, out=Vs2d, mode="clip")
+        else:
+            np.take(VT, rows, axis=0, out=Vs2d, mode="clip")
+        Vs = Vs2d.reshape(nb, k, nv)
+    if full:
+        # rotate into the stack: the gathers above copied this step's
+        # operands out, so the stack buffers are free to take the
+        # (Y_i W_i)^T outputs; XT/VT go stale until the next flush
+        xstk = _fp_buffer(scratch, "xstk", n_rows, (m,))
+        backend.apply_wt(W, Ys, out=xstk.reshape(nb, k, m))
+        if VT is not None:
+            vstk = _fp_buffer(scratch, "vstk", n_rows, (nv,))
+            backend.apply_wt(W, Vs, out=vstk.reshape(nb, k, nv))
+        scratch["stack_rows"] = rows
+        pos = scratch.get("pos")
+        if pos is None or len(pos) != n_rows:
+            pos = np.empty(n_rows, dtype=np.intp)
+            scratch["pos"] = pos
+        pos[rows] = np.arange(n_rows, dtype=np.intp)
+    else:
+        out2d = _fp_buffer(scratch, "out", nb * k, (m,))
+        backend.apply_wt(W, Ys, out=out2d.reshape(nb, k, m))  # (Y_i W_i)^T
+        XT[rows] = out2d
+        if VT is not None:
+            vout2d = _fp_buffer(scratch, "vout", nb * k, (nv,))
+            backend.apply_wt(W, Vs, out=vout2d.reshape(nb, k, nv))
+            VT[rows] = vout2d
+    row_of_col[tgt_arr.reshape(-1)] = rows
+    return stats, worst
 
 
 def _solve_gram_many(
@@ -568,47 +807,14 @@ def _solve_gram_many(
         executor.run_shared(nb, _task_gram_form, form_arrays, **form_payload)
     else:
         _task_gram_form(form_arrays, 0, nb, **form_payload)
-    finite = np.isfinite(G)
-    if not finite.all():
-        # breakdown sentinel: raise before any column is touched so the
-        # fallback chain can re-solve the poisoned pairs from clean data
-        i = int(np.argwhere(~finite)[0][0])
-        raise NumericalBreakdown(
-            f"non-finite Gram block for pair {i} "
-            f"(columns {cols_arr[i].tolist()})",
-            where=(int(cols_arr[i][0]), int(cols_arr[i][-1])))
-    # gemm output is symmetric only to rounding; the solver updates
-    # (p, q) and (q, p) through the same rotation, so symmetrise once
-    G = 0.5 * (G + G.transpose(0, 2, 1))
-    d = np.diagonal(G, axis1=1, axis2=2)  # (nb, k) squared norms
-    gmax = d.max(axis=1)
-    floor = GRAM_NOISE * k * _EPS * gmax  # zero blocks get a zero floor
-    fdiv = (floor / tol)[:, None] if tol > 0.0 else np.zeros((nb, 1))
-    i0, i1 = _triu_cache(k)
-    denom = np.sqrt(np.abs(d[:, i0] * d[:, i1]))
-    rel = np.abs(G[:, i0, i1]) / (denom + fdiv + _TINY)
-    worst = float(rel.max(initial=0.0))
+    G, d, floor, worst = _gram_measure(G, cols_arr, k, tol)
     if worst <= tol:
         # already orthogonal: only the norm-ordering convention may act
         _apply_sort_only(X, V, pair_cols, d, sort, stats, sanitizer)
         return stats, worst
-    W, rotations, _, _ = gram_eigh_batched(G, tol=tol,
-                                           max_sweeps=inner_sweeps,
-                                           floor=floor, backend=backend)
-    if not np.isfinite(W).all():
-        raise NumericalBreakdown(
-            "non-finite rotation factor from the inner Gram Jacobi")
+    W, rotations, tgt_arr = _gram_factors(G, cols_arr, tol, sort,
+                                          inner_sweeps, floor, backend)
     stats.applied = rotations
-    if sort is not None:
-        d2 = np.diagonal(G, axis1=1, axis2=2)
-        if sort == "desc":
-            perm = np.argsort(-d2, axis=1, kind="stable")
-        else:
-            perm = np.argsort(d2, axis=1, kind="stable")
-        W = np.take_along_axis(W, perm[:, None, :], axis=2)
-        tgt_arr = np.sort(cols_arr, axis=1)
-    else:
-        tgt_arr = cols_arr
     n = V.shape[0] if V is not None else 0
     if chunked:
         # the rotation factors cross the process boundary as shared

@@ -20,6 +20,12 @@ Subcommands
                                  (exit 1 on perf regression vs --compare)
 ``faults [--quick] [--json]``    run the registered chaos campaign and print
                                  the survival matrix (exit 1 on any casualty)
+``tune --m M --n N [--batch B] [--quick] [--dry-run] [--check]``
+                                 search (kernel, ordering, block size,
+                                 executor, workers, compute backend) for the
+                                 shape and persist the winner as a tuned
+                                 profile (PROFILE_<host>.json)
+``backends [--json]``            list executor / compute-backend probe status
 """
 
 from __future__ import annotations
@@ -184,6 +190,51 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="PCT",
                        help="allowed per-scenario slowdown for --compare "
                             "(percent, default 20)")
+    bench.add_argument("--profile", action="store_true",
+                       help="attach a per-scenario phase breakdown "
+                            "(compute / route / merge seconds) to the "
+                            "report, from one extra instrumented run")
+
+    tune = sub.add_parser(
+        "tune",
+        help="search kernel x ordering x block size x executor x workers "
+             "x compute backend for one shape and persist the winner as "
+             "a tuned profile (PROFILE_<host>.json)",
+    )
+    tune.add_argument("--m", type=int, default=96)
+    tune.add_argument("--n", type=int, default=64)
+    tune.add_argument("--batch", type=int, default=None, metavar="B",
+                      help="tune the svd_batch path for batches of B "
+                           "matrices (default: single-matrix svd)")
+    tune.add_argument("--quick", action="store_true",
+                      help="one candidate per axis and a short repeat "
+                           "schedule (CI smoke mode)")
+    tune.add_argument("--dry-run", action="store_true",
+                      help="print the candidate space (availability-"
+                           "filtered) without timing anything")
+    tune.add_argument("--out", default=".", metavar="DIR",
+                      help="directory the profile is written to")
+    tune.add_argument("--host", default=None, metavar="TAG",
+                      help="profile filename tag (default: this host's "
+                           "sanitised node name)")
+    tune.add_argument("--no-save", action="store_true",
+                      help="search but do not write the profile")
+    tune.add_argument("--check", action="store_true",
+                      help="exit 1 unless the winner beats the default "
+                           "configuration within --slack (the CI gate)")
+    tune.add_argument("--slack", type=float, default=1.0, metavar="R",
+                      help="--check passes when winner <= default * R "
+                           "(default 1.0: strictly no slower)")
+    tune.add_argument("--json", action="store_true",
+                      help="emit the tune result as JSON")
+
+    backends = sub.add_parser(
+        "backends",
+        help="list the step-executor and compute-backend probe status of "
+             "this host (what tune's availability filter consumes)",
+    )
+    backends.add_argument("--json", action="store_true",
+                          help="emit the catalogue as JSON")
     return p
 
 
@@ -281,7 +332,9 @@ def _bench(args: argparse.Namespace) -> int:
     for s in scens:
         if not args.json:
             print(f"timing {s.name} ...", flush=True)
-        records.append(run_scenario(s, repeats=args.repeats, warmup=args.warmup))
+        records.append(run_scenario(s, repeats=args.repeats,
+                                    warmup=args.warmup,
+                                    profile=args.profile))
     doc = build_report(args.tag, records, repeats=args.repeats,
                        warmup=args.warmup, quick=args.quick,
                        blas_threads=blas_threads)
@@ -310,6 +363,107 @@ def _bench(args: argparse.Namespace) -> int:
             return 1
         print(f"{len(compared)} scenario(s) compared against "
               f"{args.compare}: no regression")
+    return 0
+
+
+def _tune(args: argparse.Namespace) -> int:
+    """The ``tune`` subcommand body; returns a process exit code
+    (0 ok, 1 --check failed, 2 usage error)."""
+    import dataclasses
+    import json
+
+    from repro.bench import pin_blas_threads
+    from repro.tune import (backend_catalogue, candidate_space, profile_path,
+                            save_profile, tune)
+
+    if args.m < 2 or args.n < 2 or args.m < args.n:
+        print("need --m >= --n >= 2")
+        return 2
+    if args.batch is not None and args.batch < 1:
+        print("--batch must be a positive matrix count")
+        return 2
+    if args.slack <= 0:
+        print("--slack must be a positive ratio")
+        return 2
+
+    catalogue = backend_catalogue()
+    candidates = candidate_space(args.m, args.n, args.batch,
+                                 quick=args.quick, catalogue=catalogue)
+    if args.dry_run:
+        if args.json:
+            print(json.dumps({
+                "m": args.m, "n": args.n, "batch": args.batch,
+                "quick": args.quick, "catalogue": catalogue,
+                "candidates": [c.options_dict() for c in candidates],
+            }, indent=2))
+        else:
+            shape = f"{args.m}x{args.n}" + \
+                (f" batch={args.batch}" if args.batch else "")
+            print(f"candidate space for {shape} "
+                  f"({len(candidates)} configuration(s)):")
+            for c in candidates:
+                print(f"  {c.label()}")
+        return 0
+
+    # same pinning discipline as bench: attributable medians
+    pin_blas_threads(1)
+    log = None if args.json else (lambda msg: print(f"  {msg}", flush=True))
+    if not args.json:
+        print(f"tuning {args.m}x{args.n}"
+              + (f" batch={args.batch}" if args.batch else "")
+              + f" over {len(candidates)} candidate(s) ...", flush=True)
+    result = tune(args.m, args.n, args.batch, quick=args.quick,
+                  candidates=candidates, log=log)
+    path = None
+    if not args.no_save:
+        path = profile_path(args.out, args.host)
+        save_profile(result, path, host=args.host)
+    beats = result.winner_median_s <= result.default_median_s * args.slack
+    if args.json:
+        print(json.dumps({
+            "m": result.m, "n": result.n, "batch": result.batch,
+            "winner": result.winner.options_dict(),
+            "winner_median_s": result.winner_median_s,
+            "default_median_s": result.default_median_s,
+            "speedup": result.speedup,
+            "beats_default": beats,
+            "profile": None if path is None else str(path),
+            "trials": [
+                {**dataclasses.asdict(t), "candidate": t.candidate.label()}
+                for t in result.trials
+            ],
+        }, indent=2))
+    else:
+        print(f"winner: {result.winner.label()}  "
+              f"{result.winner_median_s * 1e3:.2f} ms "
+              f"(default {result.default_median_s * 1e3:.2f} ms, "
+              f"{result.speedup:.2f}x)")
+        if path is not None:
+            print(f"wrote {path}")
+    if args.check and not beats:
+        print(f"TUNE CHECK FAILED: winner {result.winner_median_s * 1e3:.2f} "
+              f"ms > default {result.default_median_s * 1e3:.2f} ms "
+              f"* slack {args.slack:g}")
+        return 1
+    return 0
+
+
+def _backends(args: argparse.Namespace) -> int:
+    """The ``backends`` subcommand body (always exit 0: an unavailable
+    optional backend is information, not an error)."""
+    import json
+
+    from repro.tune import backend_catalogue
+
+    catalogue = backend_catalogue()
+    if args.json:
+        print(json.dumps(catalogue, indent=2))
+        return 0
+    for family, status in catalogue.items():
+        print(f"{family}:")
+        for name, reason in status.items():
+            state = "available" if reason is None else f"unavailable: {reason}"
+            print(f"  {name:<10} {state}")
     return 0
 
 
@@ -606,6 +760,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "faults":
         return _faults(args)
+
+    if args.command == "tune":
+        return _tune(args)
+
+    if args.command == "backends":
+        return _backends(args)
 
     if args.command == "svd":
         return _svd(args)

@@ -12,8 +12,9 @@ schedule unit, BLAS-3 gram kernel by default).
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
@@ -40,6 +41,59 @@ __all__ = ["parallel_svd", "svd", "svd_batch"]
 def _needs_power_of_two(ordering: str | Ordering) -> bool:
     name = ordering if isinstance(ordering, str) else ordering.name
     return name in ("fat_tree", "llb", "hybrid")
+
+
+def _profile_fill(
+    profile: "str | Mapping | None",
+    m: int,
+    n: int,
+    batch: int | None,
+    default_ordering: str,
+    ordering: "str | Ordering | None",
+    options,
+    kernel: str | None,
+    block_size: int | None,
+    executor: str | None,
+    workers: int | None,
+    compute_backend: str | None,
+):
+    """Fill unset knobs from a tuned profile; resolve ordering defaults.
+
+    ``profile`` is a path or an already-loaded mapping; ``None`` falls
+    back to ``$REPRO_PROFILE`` (unset → no profile, pure defaults).
+    Only knobs the caller left at ``None`` are filled — an explicit
+    argument always wins — and the fill is conservative where knobs
+    couple: the kernel family (kernel + block size) fills only when the
+    caller set *neither*, and the block-mode-only knobs (executor,
+    workers, compute backend) fill only when the resolved configuration
+    actually is block mode.  An explicit ``options`` object is a
+    complete configuration, so the profile then fills nothing but the
+    ordering.  The tune import is lazy (``repro.tune`` times this
+    module's entry points — a module-level import would be a cycle).
+    """
+    if profile is None:
+        profile = os.environ.get("REPRO_PROFILE", "").strip() or None
+    if profile is not None:
+        from ..tune.profile import profile_options
+
+        filled = profile_options(profile, m, n, batch)
+        if filled:
+            if ordering is None:
+                ordering = filled["ordering"]
+            if options is None:
+                if kernel is None and block_size is None:
+                    kernel = filled["kernel"]
+                    block_size = filled["block_size"]
+                if block_size is not None:
+                    if executor is None:
+                        executor = filled["executor"]
+                    if workers is None:
+                        workers = filled["workers"]
+                    if compute_backend is None:
+                        compute_backend = filled["compute_backend"]
+    if ordering is None:
+        ordering = default_ordering
+    return ordering, kernel, block_size, executor, workers, compute_backend
 
 
 def _with_kernel(
@@ -107,7 +161,7 @@ def _block_options(
 
 def svd(
     a: np.ndarray,
-    ordering: str | Ordering = "fat_tree",
+    ordering: "str | Ordering | None" = None,
     options: JacobiOptions | BlockJacobiOptions | None = None,
     kernel: str | None = None,
     block_size: int | None = None,
@@ -115,6 +169,7 @@ def svd(
     workers: int | None = None,
     compute_backend: str | None = None,
     fault_plan: "FaultPlan | None" = None,
+    profile: "str | Mapping | None" = None,
     **ordering_kwargs: object,
 ) -> SVDResult:
     """One-sided Jacobi SVD of ``a`` (m x n, m >= n) under a parallel ordering.
@@ -144,8 +199,18 @@ def svd(
     decomposition on the simulated tree machine under fault injection
     and recovery; the telemetry is discarded and only the result
     returned (use :func:`parallel_svd` to keep the run report).
+
+    ``profile`` (a ``PROFILE_<host>.json`` path or loaded mapping; also
+    ``$REPRO_PROFILE``) fills every knob left unset from the nearest
+    tuned entry of a ``repro-harness tune`` profile — explicit
+    arguments always win, and with no profile the ordering defaults to
+    the paper's ``"fat_tree"``.
     """
     a = as_float_matrix(a, "a")
+    (ordering, kernel, block_size, executor, workers,
+     compute_backend) = _profile_fill(
+        profile, a.shape[0], a.shape[1], None, "fat_tree", ordering,
+        options, kernel, block_size, executor, workers, compute_backend)
     if fault_plan is not None:
         # fault injection lives in the machine layer; run there and
         # return just the decomposition
@@ -186,7 +251,7 @@ def svd(
 def parallel_svd(
     a: np.ndarray,
     topology: str = "cm5",
-    ordering: str | Ordering = "hybrid",
+    ordering: "str | Ordering | None" = None,
     cost_model: CostModel | None = None,
     options: JacobiOptions | BlockJacobiOptions | None = None,
     kernel: str | None = None,
@@ -195,6 +260,7 @@ def parallel_svd(
     workers: int | None = None,
     compute_backend: str | None = None,
     fault_plan: "FaultPlan | None" = None,
+    profile: "str | Mapping | None" = None,
     **ordering_kwargs: object,
 ) -> tuple[SVDResult, ParallelRunReport]:
     """Distributed SVD on a simulated tree machine; returns result + telemetry.
@@ -212,8 +278,16 @@ def parallel_svd(
     action is charged to the cost model and recorded on
     ``result.fault_events``, and an unrecoverable plan yields an
     explicit ``converged=False`` result — never silently wrong output.
+
+    ``profile`` / ``$REPRO_PROFILE`` fill unset knobs from a tuned
+    profile exactly as in :func:`svd`; the ordering default here is the
+    machine-level ``"hybrid"``.
     """
     a = as_float_matrix(a, "a")
+    (ordering, kernel, block_size, executor, workers,
+     compute_backend) = _profile_fill(
+        profile, a.shape[0], a.shape[1], None, "hybrid", ordering,
+        options, kernel, block_size, executor, workers, compute_backend)
     bopts = _block_options(options, kernel, block_size, executor, workers,
                            compute_backend)
     pow2 = _needs_power_of_two(ordering)
@@ -258,13 +332,14 @@ def _as_batch_stack(matrices: "np.ndarray | Sequence[np.ndarray]") -> np.ndarray
 
 def svd_batch(
     matrices: "np.ndarray | Sequence[np.ndarray]",
-    ordering: str | Ordering = "fat_tree",
+    ordering: "str | Ordering | None" = None,
     options: JacobiOptions | BlockJacobiOptions | None = None,
     kernel: str | None = None,
     block_size: int | None = None,
     executor: str | None = None,
     workers: int | None = None,
     compute_backend: str | None = None,
+    profile: "str | Mapping | None" = None,
     **ordering_kwargs: object,
 ) -> BatchResult:
     """Jacobi SVD of many independent same-shape matrices at once.
@@ -291,9 +366,18 @@ def svd_batch(
 
     A non-finite entry raises ``ValueError`` naming the offending batch
     index and coordinates (``matrices[i] contains ... at index (r, c)``).
+
+    ``profile`` / ``$REPRO_PROFILE`` fill unset knobs from a tuned
+    profile as in :func:`svd`, with the batch size part of the shape
+    lookup (a profile tuned for this batch shape wins over single-call
+    entries).
     """
     stack = _as_batch_stack(matrices)
     nitems, _, n = stack.shape
+    (ordering, kernel, block_size, executor, workers,
+     compute_backend) = _profile_fill(
+        profile, stack.shape[1], n, nitems, "fat_tree", ordering,
+        options, kernel, block_size, executor, workers, compute_backend)
     # vectorised finiteness sweep; on failure re-check the first bad item
     # so the error names the batch index and in-matrix coordinates
     ok = np.isfinite(stack).reshape(nitems, -1).all(axis=1)

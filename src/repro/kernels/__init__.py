@@ -82,8 +82,11 @@ class ComputeBackend:
         ``(B, i, j) @ (B, j, k)`` stack product.
     ``gram(y, out=None)``
         ``(B, k, m) -> (B, k, k)``: ``y @ y^T`` per stack entry.
-    ``apply_wt(w, y)``
+    ``apply_wt(w, y, out=None)``
         ``(B, k, k), (B, k, m) -> (B, k, m)``: ``w^T @ y`` per entry.
+        The ``out`` form writes into a caller-owned buffer with the same
+        bits as the allocating form (same GEMM, different destination) —
+        the simulator fast path reuses step buffers through it.
 
     ``bit_identical`` states whether the backend is guaranteed
     bit-identical to the numpy reference (enforced by the
@@ -107,8 +110,8 @@ def _np_gram(y, out=None):
     return np.matmul(y, y.transpose(0, 2, 1), out=out)
 
 
-def _np_apply_wt(w, y):
-    return np.matmul(w.transpose(0, 2, 1), y)
+def _np_apply_wt(w, y, out=None):
+    return np.matmul(w.transpose(0, 2, 1), y, out=out)
 
 
 # --------------------------------------------------------------- einsum
@@ -125,8 +128,8 @@ def _es_gram(y, out=None):
     return np.einsum("bik,bjk->bij", y, y, out=out, optimize=True)
 
 
-def _es_apply_wt(w, y):
-    return np.einsum("bki,bkj->bij", w, y, optimize=True)
+def _es_apply_wt(w, y, out=None):
+    return np.einsum("bki,bkj->bij", w, y, out=out, optimize=True)
 
 
 # --------------------------------------------------------------- numba
@@ -166,8 +169,8 @@ def _nb_gram(y, out=None):  # pragma: no cover - needs numba installed
     return _nb_matmul(y, y.transpose(0, 2, 1), out=out)
 
 
-def _nb_apply_wt(w, y):  # pragma: no cover - needs numba installed
-    return _nb_matmul(w.transpose(0, 2, 1), y)
+def _nb_apply_wt(w, y, out=None):  # pragma: no cover - needs numba installed
+    return _nb_matmul(w.transpose(0, 2, 1), y, out=out)
 
 
 # ---------------------------------------------------------------- cupy
@@ -186,8 +189,8 @@ def _cp_gram(y, out=None):  # pragma: no cover - needs cupy + device
     return _cp_matmul(y, y.transpose(0, 2, 1), out=out)
 
 
-def _cp_apply_wt(w, y):  # pragma: no cover - needs cupy + device
-    return _cp_matmul(w.transpose(0, 2, 1), y)
+def _cp_apply_wt(w, y, out=None):  # pragma: no cover - needs cupy + device
+    return _cp_matmul(w.transpose(0, 2, 1), y, out=out)
 
 
 # -------------------------------------------------------------- probes

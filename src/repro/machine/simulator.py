@@ -79,6 +79,11 @@ class TreeMachine:
         self._transport = None
         self.host_of_leaf = np.arange(topology.n_leaves, dtype=np.intp)
         self.dead_leaves: set[int] = set()
+        #: pin the event-driven reference path even when the fast path
+        #: is eligible (parity tests, fastpath-vs-event benchmarks)
+        self.force_event = False
+        #: which path the last run_sweep took ("fast" or "event")
+        self.last_sweep_path: str | None = None
 
     @property
     def n_slots(self) -> int:
@@ -312,12 +317,27 @@ class TreeMachine:
 
         ``sweep_index`` locates the sweep for fault matching and event
         records; it is ignored (and harmless) without an injector.
+
+        Fault-free, sanitizer-off, single-worker sweeps auto-select the
+        vectorised fast path (see :meth:`_fastpath_eligible`): columns
+        never move during the sweep, costs come in closed form from the
+        compiled plan, and the result is bit-identical to the
+        event-driven reference path — X, V, worst, rotation counters and
+        every StepRecord field (enforced by the parity suite).  Any
+        armed injector or sanitizer keeps the event path, which remains
+        the reference semantics.
         """
         require(self.X is not None, "load() a matrix first")
         require(schedule.n == self.n_slots, "schedule size != machine size")
         plan = compile_schedule(schedule)
+        fast = self._fastpath_eligible()
+        self.last_sweep_path = "fast" if fast else "event"
         if self.block_size is not None:
+            if fast:
+                return self._run_sweep_fast_block(plan, tol, sort)
             return self._run_sweep_block(plan, tol, sort, sweep_index)
+        if fast:
+            return self._run_sweep_fast_scalar(plan, tol, sort)
         X, V, labels = self.X, self.V, self.labels
         m = X.shape[0]
         batched = self.kernel == "batched"
@@ -428,6 +448,212 @@ class TreeMachine:
             X[:] = WT[:, :m].T
             if V is not None:
                 V[:] = WT[:, m:].T
+        return stats, rstats, worst
+
+    def _fastpath_eligible(self) -> bool:
+        """True when the vectorised fast path may replace the
+        event-driven sweep: no fault injector (per-move delivery and
+        degraded host maps need real events), no runtime sanitizer (its
+        write-set records hang off the event path's solvers), no
+        multi-worker executor (the fast path is a single serial
+        pipeline), and no explicit ``force_event`` pin."""
+        if self.force_event or self.injector is not None:
+            return False
+        if self._sanitizer is not None:
+            return False
+        return self._executor is None or self._executor.workers <= 1
+
+    def _fast_record(self, plan, k: int, cs: CompiledStep, rotations: int,
+                     compute_t: float, words: int) -> StepRecord:
+        """Closed-form :class:`StepRecord` of a healthy step: identical
+        to the event path's record by construction — same memoised
+        routing phase (derived from the compiled ``move_leaves``), same
+        cost-model calls, zero fault fields."""
+        comm_t = 0.0
+        messages = 0
+        max_level = 0
+        contention = 0.0
+        if cs.has_moves:
+            phase = plan.route_phase(self.topology, k - 1)
+            messages = phase.n_messages
+            max_level = phase.max_level
+            contention = phase.contention
+            comm_t = self.cost.comm_time(phase, words)
+        return StepRecord(
+            step=k,
+            rotations=rotations,
+            messages=messages,
+            max_level=max_level,
+            contention=contention,
+            compute_time=compute_t,
+            comm_time=comm_t,
+            retries=0,
+            fault_events=(),
+        )
+
+    def _run_sweep_fast_scalar(
+        self,
+        plan,
+        tol: float,
+        sort: str | None,
+    ) -> tuple[SweepStats, RotationStats, float]:
+        """Vectorised fault-free sweep at scalar granularity.
+
+        Columns never move: the plan's precomputed content pairs address
+        each step's columns where they already sit (content id = slot at
+        sweep start), and the sweep permutation is applied once at the
+        end — the event path's per-step ``X[:, dst] = X[:, src]`` column
+        copies (and the batched kernel's row moves) disappear entirely.
+        The rotation kernels receive the same values in the same pair
+        order with the same label orientation, so the arithmetic is
+        bit-identical to the event path.
+        """
+        X, V, labels = self.X, self.V, self.labels
+        m = X.shape[0]
+        fp = plan.fastpath()
+        labels0 = labels.copy()
+        batched = self.kernel == "batched"
+        if batched:
+            WT = self._WT
+            WT[:, :m] = X.T
+            if V is not None:
+                WT[:, m:] = V.T
+            norms_sq = self._norms_sq
+        stats = SweepStats()
+        rstats = RotationStats()
+        worst = 0.0
+        words = m + (X.shape[1] if V is not None else 0)
+        for k, cs in enumerate(plan.steps, start=1):
+            rotations = 0
+            compute_t = 0.0
+            if cs.n_pairs:
+                pc = fp.content_pairs[k - 1]
+                # the label a content carries is fixed for the whole
+                # sweep, so the event path's per-step ``labels[a] >
+                # labels[b]`` orientation is a static lookup here
+                flip = labels0[pc[:, 0]] > labels0[pc[:, 1]]
+                if batched:
+                    P = np.where(flip[:, None], pc[:, ::-1], pc)
+                    st, mx = apply_step_rotations_batched(
+                        WT, P, tol, sort, norms_sq, m
+                    )
+                else:
+                    left = np.where(flip, pc[:, 1], pc[:, 0])
+                    right = np.where(flip, pc[:, 0], pc[:, 1])
+                    st, mx = apply_step_rotations(X, V, left, right, tol, sort)
+                rstats.merge(st)
+                worst = max(worst, mx)
+                rotations = cs.n_pairs
+                compute_t = self.cost.compute_time(cs.max_pairs_per_leaf, m)
+            stats.steps.append(
+                self._fast_record(plan, k, cs, rotations, compute_t, words))
+        final = fp.final_layout
+        if batched:
+            X[:] = WT[final, :m].T
+            if V is not None:
+                V[:] = WT[final, m:].T
+            norms_sq[:] = norms_sq[final]
+        else:
+            X[:] = X[:, final]
+            if V is not None:
+                V[:] = V[:, final]
+        labels[:] = labels0[final]
+        return stats, rstats, worst
+
+    def _run_sweep_fast_block(
+        self,
+        plan,
+        tol: float,
+        sort: str | None,
+    ) -> tuple[SweepStats, RotationStats, float]:
+        """Vectorised fault-free sweep at block granularity.
+
+        Block indirections (``block_cols``/``labels``) stop evolving per
+        step: each step's met columns come from the plan's content pairs
+        through the sweep-start indirection, and both indirections jump
+        to their final state once at the end.  The gram kernel
+        additionally runs on transposed row-major buffers
+        (:func:`~repro.blockjacobi.kernel.fastpath_gram_step`): the
+        event path's strided column gather/scatter — its dominant cost
+        at large n — becomes contiguous row traffic, with sort-only
+        steps reduced to index relabelings.  A numerical breakdown
+        materialises ``X``/``V`` and delegates that step to the event
+        solver, preserving the fallback-chain semantics bit for bit.
+        """
+        from ..blockjacobi.kernel import (
+            fastpath_gram_flush,
+            fastpath_gram_step,
+            solve_block_step,
+        )
+        from ..util.errors import NumericalBreakdown
+
+        X, V = self.X, self.V
+        b = self.block_size
+        m = X.shape[0]
+        n_cols = X.shape[1]
+        fp = plan.fastpath()
+        block0 = self.block_cols.copy()
+        labels0 = self.labels.copy()
+        gram = self.kernel == "gram"
+        if gram:
+            XT = np.ascontiguousarray(X.T)
+            VT = np.ascontiguousarray(V.T) if V is not None else None
+            row_of_col = np.arange(n_cols, dtype=np.intp)
+            scratch: dict = {}  # step stacks, allocated once per sweep
+        stats = SweepStats()
+        rstats = RotationStats()
+        worst = 0.0
+        words = b * (m + (n_cols if V is not None else 0))
+        for k, cs in enumerate(plan.steps, start=1):
+            rotations = 0
+            compute_t = 0.0
+            if cs.n_pairs:
+                # (n_pairs, 2b): the event path's evolving ``block_cols``
+                # indirection, replayed from the sweep-start snapshot
+                pair_cols = block0[fp.content_pairs[k - 1]].reshape(
+                    cs.n_pairs, 2 * b)
+                if gram:
+                    try:
+                        st, mx = fastpath_gram_step(
+                            XT, VT, row_of_col, pair_cols, tol, sort,
+                            self.inner_sweeps, self._compute_backend,
+                            scratch=scratch)
+                    except NumericalBreakdown:
+                        # materialise and delegate the poisoned step to
+                        # the event solver: same per-pair fallback chain
+                        # on the same values, then re-ingest the buffers
+                        fastpath_gram_flush(XT, VT, scratch)
+                        X[:] = XT[row_of_col].T
+                        if V is not None:
+                            V[:] = VT[row_of_col].T
+                        st, mx = solve_block_step(
+                            X, V, pair_cols, tol, sort, self.inner_sweeps,
+                            self.kernel, executor=self._executor,
+                            compute_backend=self._compute_backend)
+                        XT[:] = X.T
+                        if VT is not None:
+                            VT[:] = V.T
+                        row_of_col = np.arange(n_cols, dtype=np.intp)
+                else:
+                    st, mx = solve_block_step(
+                        X, V, pair_cols, tol, sort, self.inner_sweeps,
+                        self.kernel, executor=self._executor,
+                        compute_backend=self._compute_backend)
+                rstats.merge(st)
+                worst = max(worst, mx)
+                rotations = cs.n_pairs
+                compute_t = self.cost.block_compute_time(
+                    cs.max_pairs_per_leaf, m, b, self.inner_sweeps)
+            stats.steps.append(
+                self._fast_record(plan, k, cs, rotations, compute_t, words))
+        final = fp.final_layout
+        if gram:
+            fastpath_gram_flush(XT, VT, scratch)
+            X[:] = XT[row_of_col].T
+            if V is not None:
+                V[:] = VT[row_of_col].T
+        self.block_cols[:] = block0[final]
+        self.labels[:] = labels0[final]
         return stats, rstats, worst
 
     def _run_sweep_block(

@@ -71,6 +71,7 @@ from .corrupt import (
     stale_plan_memo,
     stray_column_touch,
     tamper_final_layout,
+    tamper_fastpath_rows,
     tamper_plan_pairs,
     unchecked_schedule,
     unchecked_step,
@@ -86,6 +87,7 @@ from .executor_plan import (
     SharedStagePlan,
     StagePlan,
     check_executor_plan,
+    check_fastpath_projection,
     check_shared_memory_plan,
     check_shared_plan,
     check_stage_plan,
@@ -134,6 +136,7 @@ __all__ = [
     "check_deadlock_free",
     "check_degraded_totality",
     "check_executor_plan",
+    "check_fastpath_projection",
     "check_fallback_chains",
     "check_shared_memory_plan",
     "check_shared_plan",
@@ -175,6 +178,7 @@ __all__ = [
     "static_level_contention",
     "stray_column_touch",
     "tamper_final_layout",
+    "tamper_fastpath_rows",
     "tamper_plan_pairs",
     "unchecked_schedule",
     "unchecked_step",

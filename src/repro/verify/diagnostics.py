@@ -59,6 +59,10 @@ RULES: dict[str, tuple[str, str]] = {
     "EXEC005": ("error", "process chunking unsound for shared memory: two chunks map "
                          "to overlapping shared-memory ranges, or the batch-coupled "
                          "inner Gram solve is split across processes"),
+    "EXEC006": ("error", "fast-path write-set projection unsound: a step's stacked "
+                         "scatter writes a content row twice, the content pairs "
+                         "disagree with the event path's trajectory replay, or the "
+                         "sweep's final layout is not a permutation"),
     "PLAN001": ("error", "compiled step arrays disagree with the source schedule "
                          "(pair/move lowering corrupted)"),
     "PLAN002": ("error", "compiled trajectory or final layout disagrees with the "
